@@ -1,0 +1,284 @@
+// Package adalsh is a Go implementation of Adaptive Locality-Sensitive
+// Hashing for top-k entity resolution (Verroios and Garcia-Molina,
+// "Top-K Entity Resolution with Adaptive Locality-Sensitive Hashing").
+//
+// Given a dataset of records and a matching rule (a distance threshold
+// over one or more record fields), the library finds the records of the
+// k largest entities — the k largest connected components of the
+// rule's match graph — without computing the full quadratic closure.
+// It adaptively applies a sequence of increasingly expensive LSH-based
+// clustering functions: records unlikely to belong to a top-k entity
+// receive only a handful of hash evaluations, while the candidate top
+// clusters are refined and finally verified with exact distances.
+//
+// # Quick start
+//
+//	ds := &adalsh.Dataset{Name: "articles"}
+//	for _, doc := range docs {
+//		ds.Add(-1, adalsh.NewSet(shingles(doc))) // -1: truth unknown
+//	}
+//	rule := adalsh.MatchThreshold(0, adalsh.Jaccard(), 0.6)
+//	res, err := adalsh.Filter(ds, rule, adalsh.Config{K: 10})
+//	// res.Clusters[0] holds the records of the largest entity.
+//
+// The packages under internal/ implement the substrates (LSH families,
+// scheme optimization, parent-pointer trees, baselines, synthetic
+// datasets and the paper's experiment harness); this package is the
+// stable public surface.
+package adalsh
+
+import (
+	"io"
+
+	"github.com/topk-er/adalsh/internal/blocking"
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/planio"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// Dataset is a collection of records with optional ground truth. Use
+// (*Dataset).Add to append records; pass entity -1 when the truth is
+// unknown (the usual case outside evaluation).
+type Dataset = record.Dataset
+
+// Record is a single item to resolve.
+type Record = record.Record
+
+// Field is one record attribute: a Vector, a Set or a Bits fingerprint.
+type Field = record.Field
+
+// Vector is a dense feature vector field (compared by cosine distance).
+type Vector = record.Vector
+
+// Set is a sorted set of 64-bit element hashes (compared by Jaccard
+// distance). Build one with NewSet.
+type Set = record.Set
+
+// NewSet builds a Set from element hashes, sorting and de-duplicating.
+func NewSet(elems []uint64) Set { return record.NewSet(elems) }
+
+// Bits is a fixed-width binary fingerprint field (e.g. a SimHash),
+// compared by normalized Hamming distance. Build one with NewBits.
+type Bits = record.Bits
+
+// NewBits builds a Bits field of the given width from packed 64-bit
+// words (least significant word first).
+func NewBits(words []uint64, width int) Bits { return record.NewBits(words, width) }
+
+// Rule decides whether two records refer to the same entity.
+type Rule = distance.Rule
+
+// Metric is a normalized distance over one field kind.
+type Metric = distance.Metric
+
+// Cosine returns the cosine (angular) metric for Vector fields,
+// normalized as angle/180deg.
+func Cosine() Metric { return distance.Cosine{} }
+
+// Jaccard returns the Jaccard distance metric for Set fields.
+func Jaccard() Metric { return distance.Jaccard{} }
+
+// Hamming returns the normalized Hamming distance metric for Bits
+// fields (differing bits / width), hashed by bit sampling.
+func Hamming() Metric { return distance.Hamming{} }
+
+// Euclidean returns the scaled L2 metric for Vector fields:
+// ||a-b||/scale, clamped to 1, hashed by p-stable projections (E2LSH).
+// Pick scale around 2-4x the match threshold distance.
+func Euclidean(scale float64) Metric { return distance.Euclidean{Scale: scale} }
+
+// EuclideanWithBucket is Euclidean with an explicit projection bucket
+// width (as a fraction of scale; the default is 0.25). Larger buckets
+// collide more per function; the scheme optimizer compensates with
+// more functions per table.
+func EuclideanWithBucket(scale, bucketFraction float64) Metric {
+	return distance.Euclidean{Scale: scale, BucketFraction: bucketFraction}
+}
+
+// Degrees converts an angle in degrees to a normalized cosine distance
+// threshold.
+func Degrees(deg float64) float64 { return distance.Degrees(deg) }
+
+// SimilarityAtLeast converts a minimum similarity (e.g. "Jaccard
+// similarity at least 0.4") to the corresponding distance threshold.
+func SimilarityAtLeast(sim float64) float64 { return distance.Similarity(sim) }
+
+// MatchThreshold matches two records when the metric distance on one
+// field is at most maxDistance.
+func MatchThreshold(field int, m Metric, maxDistance float64) Rule {
+	return distance.Threshold{Field: field, Metric: m, MaxDistance: maxDistance}
+}
+
+// MatchAll matches when every sub-rule matches (AND).
+func MatchAll(rules ...Rule) Rule { return distance.And(rules) }
+
+// MatchAny matches when at least one sub-rule matches (OR).
+func MatchAny(rules ...Rule) Rule { return distance.Or(rules) }
+
+// MatchWeightedAverage matches when the weighted average of per-field
+// distances is at most maxDistance. Weights must sum to 1.
+func MatchWeightedAverage(fields []int, ms []Metric, weights []float64, maxDistance float64) Rule {
+	return distance.WeightedAverage{Fields: fields, Metrics: ms, Weights: weights, MaxDistance: maxDistance}
+}
+
+// SequenceConfig controls the design of the hashing function sequence;
+// the zero value reproduces the paper's default (Exponential growth
+// from 20 hash functions, 8 levels, epsilon 0.001).
+type SequenceConfig = core.SequenceConfig
+
+// Budget growth modes for SequenceConfig.Mode.
+const (
+	Exponential = core.Exponential
+	Linear      = core.Linear
+)
+
+// Plan is a designed filtering configuration: the hashing function
+// sequence, the underlying LSH families and the calibrated cost model.
+// Design is deterministic given the seed and happens offline; reuse a
+// Plan across Filter calls on the same dataset and rule.
+type Plan = core.Plan
+
+// Cluster is one final output cluster.
+type Cluster = core.Cluster
+
+// Stats describes the work a filtering run performed.
+type Stats = core.Stats
+
+// Result is a filtering outcome: the k-hat largest clusters (largest
+// first) and their record union.
+type Result = core.Result
+
+// RoundInfo is the per-round progress snapshot passed to
+// Config.OnRound.
+type RoundInfo = core.RoundInfo
+
+// Config controls a Filter run.
+type Config struct {
+	// K is the number of top entities to find. Required.
+	K int
+	// ReturnClusters is the number of largest clusters to return
+	// (k-hat >= K); returning more trades precision for recall
+	// (Section 6.1.2 of the paper). Zero means K.
+	ReturnClusters int
+	// Sequence configures the hashing sequence; the zero value is the
+	// paper's default.
+	Sequence SequenceConfig
+	// OnRound, when non-nil, receives a progress snapshot after every
+	// adaptive round — hook for logging or progress display.
+	OnRound func(RoundInfo)
+}
+
+// options converts the public config to core options.
+func (c Config) options() core.Options {
+	return core.Options{K: c.K, ReturnClusters: c.ReturnClusters, OnRound: c.OnRound}
+}
+
+// NewPlan designs the Adaptive LSH plan for a dataset and rule. The
+// rule may be a single MatchThreshold, a MatchWeightedAverage, or a
+// flat MatchAll/MatchAny over two or more of those.
+func NewPlan(ds *Dataset, rule Rule, cfg SequenceConfig) (*Plan, error) {
+	return core.DesignPlan(ds, rule, cfg)
+}
+
+// SavePlan serializes a designed plan as JSON. The design step
+// (scheme optimization, hasher seeding, cost calibration) is offline;
+// saving its outcome lets production processes load an identical plan
+// with LoadPlan instead of re-designing.
+func SavePlan(w io.Writer, plan *Plan) error { return planio.Write(w, plan) }
+
+// LoadPlan reads a plan saved with SavePlan. The loaded plan behaves
+// identically to the saved one (hashers are rebuilt deterministically
+// from their descriptors). It applies to any dataset with the same
+// field layout as the design-time dataset.
+func LoadPlan(r io.Reader) (*Plan, error) { return planio.Read(r) }
+
+// Filter runs Adaptive LSH (Algorithm 1) end to end: designs the plan
+// and returns the records of the k largest entities. For repeated runs
+// on the same dataset and rule, design once with NewPlan and call
+// FilterWithPlan.
+func Filter(ds *Dataset, rule Rule, cfg Config) (*Result, error) {
+	plan, err := NewPlan(ds, rule, cfg.Sequence)
+	if err != nil {
+		return nil, err
+	}
+	return FilterWithPlan(ds, plan, cfg)
+}
+
+// FilterWithPlan runs Adaptive LSH with a pre-designed plan.
+func FilterWithPlan(ds *Dataset, plan *Plan, cfg Config) (*Result, error) {
+	return core.Filter(ds, plan, cfg.options())
+}
+
+// FilterIncremental streams final clusters as they are found, largest
+// entities first (the incremental mode of Section 4.2). emit may
+// return false to stop early.
+func FilterIncremental(ds *Dataset, plan *Plan, cfg Config, emit func(Cluster) bool) error {
+	return core.FilterIncremental(ds, plan, cfg.options(), emit, nil)
+}
+
+// FilterPipeline runs Adaptive LSH in a goroutine and delivers final
+// clusters on a channel as they are found, largest entity first — the
+// filtering-to-ER pipelining sketched in the paper's Section 9. A
+// downstream ER or aggregation stage can start consuming the biggest
+// entity while the filter is still working on the rest.
+//
+// The clusters channel is closed when filtering completes or aborts;
+// the error channel then yields the terminal error (nil on success).
+// Abandoning the pipeline early leaks the filtering goroutine until it
+// finds the next cluster, so drain the channel or read it fully.
+func FilterPipeline(ds *Dataset, plan *Plan, cfg Config) (<-chan Cluster, <-chan error) {
+	clusters := make(chan Cluster)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(clusters)
+		err := core.FilterIncremental(ds, plan, cfg.options(), func(c Cluster) bool {
+			clusters <- c
+			return true
+		}, nil)
+		errc <- err
+	}()
+	return clusters, errc
+}
+
+// FilterLSH runs the one-shot LSH-X blocking baseline: x hash
+// functions on every record, then pairwise verification.
+func FilterLSH(ds *Dataset, rule Rule, x int, cfg Config) (*Result, error) {
+	return blocking.LSHX(ds, rule, blocking.LSHXOptions{
+		X: x, K: cfg.K, ReturnClusters: cfg.ReturnClusters, Seed: cfg.Sequence.Seed,
+	})
+}
+
+// FilterPairs runs the exact baseline: all pairwise distances with
+// transitive skipping. Quadratic; intended for evaluation.
+func FilterPairs(ds *Dataset, rule Rule, cfg Config) (*Result, error) {
+	return blocking.Pairs(ds, rule, cfg.K, cfg.ReturnClusters)
+}
+
+// Stream answers repeated top-k queries over a growing dataset,
+// reusing hash values across queries (the online setting of the
+// paper's Section 9). Create with NewStream, feed with Add, query with
+// TopK.
+type Stream = core.Stream
+
+// NewStream creates an empty record stream for the given matching
+// rule. The hashing plan is designed at the first TopK call.
+func NewStream(rule Rule, cfg SequenceConfig) *Stream {
+	return core.NewStream(rule, cfg)
+}
+
+// RecoveryResult is the outcome of the recovery process.
+type RecoveryResult = core.RecoveryResult
+
+// Recover runs the paper's recovery process (Section 6.1.2) on a
+// filtering result: every record left out of the output is compared
+// against the output clusters and attached to the cluster it matches
+// best. Use it to repair recall when the filtering output missed part
+// of a top-k entity; the cost is |output| x |rest| rule evaluations.
+func Recover(ds *Dataset, rule Rule, res *Result) *RecoveryResult {
+	clusters := make([][]int32, len(res.Clusters))
+	for i := range res.Clusters {
+		clusters[i] = res.Clusters[i].Records
+	}
+	return core.Recover(ds, rule, clusters)
+}

@@ -1,0 +1,221 @@
+package adalsh_test
+
+import (
+	"sync"
+	"testing"
+
+	adalsh "github.com/topk-er/adalsh"
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/experiments"
+	"github.com/topk-er/adalsh/internal/lshfamily"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// benchProvider is shared across benchmarks so datasets, plans and
+// Pairs baselines are generated once (they are deterministic).
+var (
+	benchProviderOnce sync.Once
+	benchProvider     *experiments.Provider
+)
+
+func provider() *experiments.Provider {
+	benchProviderOnce.Do(func() {
+		benchProvider = experiments.NewProvider(42)
+	})
+	return benchProvider
+}
+
+// benchFigure reruns one paper figure per iteration (quick sweeps).
+// These are the macro-benchmarks that regenerate the evaluation; run
+// cmd/paperbench for the full-sweep tables.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	p := provider()
+	// Warm the caches outside the timed region.
+	b.StopTimer()
+	if _, err := experiments.Run(p, id, true); err != nil {
+		b.Fatal(err)
+	}
+	b.StartTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(p, id, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per figure of the paper's evaluation (Section 7 and
+// Appendix E). Figure 10's panels are produced by the fig8a/fig9a
+// runners (same runs, accuracy columns).
+func BenchmarkFig7WZOptSelection(b *testing.B)      { benchFigure(b, "fig7") }
+func BenchmarkFig8aCoraTimeVsK(b *testing.B)        { benchFigure(b, "fig8a") }
+func BenchmarkFig8bCoraTimeVsSize(b *testing.B)     { benchFigure(b, "fig8b") }
+func BenchmarkFig9aSpotSigsTimeVsK(b *testing.B)    { benchFigure(b, "fig9a") }
+func BenchmarkFig9bSpotSigsTimeVsSize(b *testing.B) { benchFigure(b, "fig9b") }
+func BenchmarkFig11PrecisionRecallVsKhat(b *testing.B) {
+	benchFigure(b, "fig11")
+}
+func BenchmarkFig12ReductionAndSpeedup(b *testing.B)  { benchFigure(b, "fig12") }
+func BenchmarkFig13MAPMAR(b *testing.B)               { benchFigure(b, "fig13") }
+func BenchmarkFig14Recovery(b *testing.B)             { benchFigure(b, "fig14") }
+func BenchmarkFig15LSHVariations(b *testing.B)        { benchFigure(b, "fig15") }
+func BenchmarkFig16ImagesTime(b *testing.B)           { benchFigure(b, "fig16") }
+func BenchmarkFig17ImagesF1(b *testing.B)             { benchFigure(b, "fig17") }
+func BenchmarkFig20NPVariations(b *testing.B)         { benchFigure(b, "fig20") }
+func BenchmarkFig21CostModelNoise(b *testing.B)       { benchFigure(b, "fig21") }
+func BenchmarkFig22BudgetSelectionModes(b *testing.B) { benchFigure(b, "fig22") }
+
+// Method-level macro-benchmarks on the SpotSigs workload, k = 10:
+// the three methods the paper compares throughout.
+
+func BenchmarkFilterAdaLSHSpotSigs(b *testing.B) {
+	p := provider()
+	bench := p.SpotSigs(1, 0.4)
+	plan, err := p.Plan(bench, core.SequenceConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Filter(bench.Dataset, plan, core.Options{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterLSH1280SpotSigs(b *testing.B) {
+	p := provider()
+	bench := p.SpotSigs(1, 0.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunLSHX(bench, 1280, 10, 0, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterPairsSpotSigs(b *testing.B) {
+	p := provider()
+	bench := p.SpotSigs(1, 0.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := adalsh.FilterPairs(bench.Dataset, bench.Rule, adalsh.Config{K: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the substrates.
+
+func BenchmarkMinHashFunction(b *testing.B) {
+	elems := make([]uint64, 150)
+	for i := range elems {
+		elems[i] = uint64(i) * 2654435761
+	}
+	rec := &record.Record{Fields: []record.Field{record.NewSet(elems)}}
+	h := lshfamily.NewMinHash(0, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Hash(i&63, rec)
+	}
+}
+
+func BenchmarkHyperplaneFunction(b *testing.B) {
+	v := make(record.Vector, 125)
+	for i := range v {
+		v[i] = float64(i%7) / 7
+	}
+	rec := &record.Record{Fields: []record.Field{v}}
+	h := lshfamily.NewHyperplane(0, 125, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Hash(i&63, rec)
+	}
+}
+
+func BenchmarkJaccardDistance(b *testing.B) {
+	a := make([]uint64, 150)
+	c := make([]uint64, 150)
+	for i := range a {
+		a[i] = uint64(i) * 7919
+		c[i] = uint64(i)*7919 + uint64(i%3)
+	}
+	sa, sc := record.NewSet(a), record.NewSet(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distance.JaccardSet(sa, sc)
+	}
+}
+
+func BenchmarkCosineDistance(b *testing.B) {
+	u := make(record.Vector, 125)
+	v := make(record.Vector, 125)
+	for i := range u {
+		u[i] = float64(i % 11)
+		v[i] = float64(i % 13)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distance.CosineVec(u, v)
+	}
+}
+
+func BenchmarkDesignPlanSpotSigs(b *testing.B) {
+	p := provider()
+	bench := p.SpotSigs(1, 0.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DesignPlan(bench.Dataset, bench.Rule, core.SequenceConfig{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks: the same adaptive filtering with one design
+// choice removed, quantifying its contribution (DESIGN.md §5).
+
+func benchAblation(b *testing.B, opts core.Options) {
+	p := provider()
+	bench := p.SpotSigs(1, 0.4)
+	plan, err := p.Plan(bench, core.SequenceConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts.K = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Filter(bench.Dataset, plan, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBaseline(b *testing.B) {
+	benchAblation(b, core.Options{})
+}
+
+func BenchmarkAblationNoHashCache(b *testing.B) {
+	benchAblation(b, core.Options{DisableHashCache: true})
+}
+
+func BenchmarkAblationNoTransitiveSkip(b *testing.B) {
+	benchAblation(b, core.Options{DisableTransitiveSkip: true})
+}
+
+func BenchmarkApplyHashRoundOne(b *testing.B) {
+	p := provider()
+	bench := p.SpotSigs(1, 0.4)
+	plan, err := p.Plan(bench, core.SequenceConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs := make([]int32, bench.Dataset.Len())
+	for i := range recs {
+		recs[i] = int32(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ApplyHash(bench.Dataset, plan, plan.Funcs[0], nil, recs)
+	}
+}

@@ -1,0 +1,68 @@
+// Command datagen writes one of the synthetic evaluation datasets to
+// JSON (the format cmd/adalsh consumes).
+//
+// Usage:
+//
+//	datagen -dataset cora|spotsigs|images [-scale 1] [-zipf 1.1]
+//	        [-seed 42] [-out data.json]
+//
+// It also prints the matching rule for the dataset in the rule
+// language cmd/adalsh expects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/topk-er/adalsh/internal/datasets"
+	"github.com/topk-er/adalsh/internal/dsio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("datagen: ")
+	name := flag.String("dataset", "", "cora, spotsigs or images (required)")
+	scale := flag.Int("scale", 1, "scale factor for cora/spotsigs (1, 2, 4, 8)")
+	zipf := flag.String("zipf", "1.1", "zipf exponent for images: 1.05, 1.1 or 1.2")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("out", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	var bench *datasets.Benchmark
+	var ruleSpec string
+	switch *name {
+	case "cora":
+		bench = datasets.Cora(*scale, *seed)
+		ruleSpec = "and(wavg(jaccard@0*0.5 + jaccard@1*0.5 <= 0.3), jaccard@2 <= 0.8)"
+	case "spotsigs":
+		bench = datasets.SpotSigs(*scale, 0.4, *seed)
+		ruleSpec = "jaccard@0 <= 0.6"
+	case "images":
+		bench = datasets.PopularImages(*zipf, 3, *seed)
+		ruleSpec = fmt.Sprintf("cosine@0 <= %.6f", 3.0/180)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := dsio.Write(w, bench.Dataset); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %d records, %d entities\nmatching rule: %s\n",
+		bench.Dataset.Name, bench.Dataset.Len(), len(bench.Dataset.Entities()), ruleSpec)
+}

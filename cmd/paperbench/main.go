@@ -1,0 +1,67 @@
+// Command paperbench regenerates the paper's evaluation figures
+// (Section 7 and Appendix E) on the synthetic datasets.
+//
+// Usage:
+//
+//	paperbench [-fig fig9a] [-quick] [-skip-images] [-seed N] [-md]
+//
+// With no -fig, every figure is regenerated in order. -quick trims the
+// sweeps (fewer k values, 1x/2x scales only) for a fast sanity pass.
+// -md emits GitHub-flavored markdown instead of aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/topk-er/adalsh/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure ID to regenerate (default: all); see -list")
+	list := flag.Bool("list", false, "list available figure IDs and exit")
+	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
+	skipImages := flag.Bool("skip-images", false, "skip the PopularImages figures (slowest datasets)")
+	seed := flag.Uint64("seed", 42, "master seed for datasets and hash families")
+	md := flag.Bool("md", false, "emit markdown tables")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Figures() {
+			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	p := experiments.NewProvider(*seed)
+	start := time.Now()
+	var tables []*experiments.Table
+	var err error
+	if *fig == "" {
+		tables, err = experiments.RunAll(p, *quick, *skipImages)
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			var ts []*experiments.Table
+			ts, err = experiments.Run(p, strings.TrimSpace(id), *quick)
+			tables = append(tables, ts...)
+			if err != nil {
+				break
+			}
+		}
+	}
+	for _, t := range tables {
+		if *md {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+}

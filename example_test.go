@@ -1,0 +1,74 @@
+package adalsh_test
+
+import (
+	"fmt"
+
+	adalsh "github.com/topk-er/adalsh"
+)
+
+// ExampleFilter deduplicates a small corpus and prints the largest
+// entity's size.
+func ExampleFilter() {
+	ds := &adalsh.Dataset{Name: "demo"}
+	// Three copies of one item, two of another, one singleton. Sets
+	// are arbitrary 64-bit element hashes (e.g. hashed shingles).
+	groups := [][]uint64{
+		{1, 2, 3, 4, 5}, {1, 2, 3, 4, 6}, {1, 2, 3, 4, 7},
+		{100, 200, 300}, {100, 200, 301},
+		{9000, 9001},
+	}
+	for _, g := range groups {
+		ds.Add(-1, adalsh.NewSet(g))
+	}
+	rule := adalsh.MatchThreshold(0, adalsh.Jaccard(), adalsh.SimilarityAtLeast(0.5))
+	res, err := adalsh.Filter(ds, rule, adalsh.Config{K: 2})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("top entities: %d and %d records\n", res.Clusters[0].Size(), res.Clusters[1].Size())
+	// Output: top entities: 3 and 2 records
+}
+
+// ExampleFilterIncremental streams clusters largest-first.
+func ExampleFilterIncremental() {
+	ds := &adalsh.Dataset{Name: "demo"}
+	for i := 0; i < 4; i++ {
+		ds.Add(-1, adalsh.NewSet([]uint64{1, 2, 3, uint64(i) + 10}))
+	}
+	for i := 0; i < 2; i++ {
+		ds.Add(-1, adalsh.NewSet([]uint64{7, 8, 9, uint64(i) + 20}))
+	}
+	rule := adalsh.MatchThreshold(0, adalsh.Jaccard(), 0.5)
+	plan, err := adalsh.NewPlan(ds, rule, adalsh.SequenceConfig{Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = adalsh.FilterIncremental(ds, plan, adalsh.Config{K: 2}, func(c adalsh.Cluster) bool {
+		fmt.Println("cluster of", c.Size())
+		return true
+	})
+	// Output:
+	// cluster of 4
+	// cluster of 2
+}
+
+// ExampleStream shows top-k queries over a growing dataset.
+func ExampleStream() {
+	rule := adalsh.MatchThreshold(0, adalsh.Jaccard(), 0.5)
+	s := adalsh.NewStream(rule, adalsh.SequenceConfig{Seed: 1})
+	for i := 0; i < 3; i++ {
+		s.Add(adalsh.NewSet([]uint64{1, 2, 3, uint64(i) + 10}))
+	}
+	res, _ := s.TopK(1)
+	fmt.Println("after 3 records, biggest entity:", res.Clusters[0].Size())
+	for i := 0; i < 5; i++ {
+		s.Add(adalsh.NewSet([]uint64{50, 51, 52, uint64(i) + 60}))
+	}
+	res, _ = s.TopK(1)
+	fmt.Println("after 8 records, biggest entity:", res.Clusters[0].Size())
+	// Output:
+	// after 3 records, biggest entity: 3
+	// after 8 records, biggest entity: 5
+}

@@ -1,0 +1,74 @@
+// Quickstart: deduplicate a handful of short documents and print the
+// two largest entities. Demonstrates the minimal pipeline — featurize
+// records into shingle sets, pick a rule, call Filter.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+	"strings"
+
+	adalsh "github.com/topk-er/adalsh"
+)
+
+// tokenSet hashes each whitespace token of a document into a set.
+func tokenSet(doc string) adalsh.Set {
+	var elems []uint64
+	for _, tok := range strings.Fields(strings.ToLower(doc)) {
+		h := fnv.New64a()
+		h.Write([]byte(tok))
+		elems = append(elems, h.Sum64())
+	}
+	return adalsh.NewSet(elems)
+}
+
+func main() {
+	docs := []string{
+		// Entity A: a story syndicated four times with small edits.
+		"breaking storm hits the northern coast flooding several towns overnight",
+		"breaking storm hits northern coast flooding several towns overnight officials say",
+		"storm hits the northern coast flooding towns overnight",
+		"breaking a storm hits the northern coast flooding several towns",
+		// Entity B: a different story, three copies.
+		"markets rally as central bank signals steady interest rates this quarter",
+		"markets rally after central bank signals steady interest rates this quarter",
+		"markets rally as the central bank signals steady rates this quarter",
+		// Singletons.
+		"local bakery wins national award for sourdough innovation",
+		"astronomers spot unusual comet passing beyond jupiter this week",
+	}
+
+	ds := &adalsh.Dataset{Name: "quickstart"}
+	for _, d := range docs {
+		ds.Add(-1, tokenSet(d)) // -1: no ground truth needed to filter
+	}
+
+	// Two documents match when their token sets have Jaccard
+	// similarity at least 0.5.
+	rule := adalsh.MatchThreshold(0, adalsh.Jaccard(), adalsh.SimilarityAtLeast(0.5))
+
+	res, err := adalsh.Filter(ds, rule, adalsh.Config{K: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d top entities out of %d documents\n\n", len(res.Clusters), ds.Len())
+	for i, c := range res.Clusters {
+		fmt.Printf("entity #%d (%d documents):\n", i+1, c.Size())
+		for _, r := range c.Records {
+			fmt.Printf("  - %s\n", docs[r])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("work: %d hash evaluations, %d exact comparisons\n",
+		sum(res.Stats.HashEvals), res.Stats.PairsComputed)
+}
+
+func sum(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,44 @@
+// Trending: watch the top stories change as articles stream in. Uses
+// the Stream API — hash values computed for a record during one query
+// are reused by every later query, so repeated top-k queries over a
+// growing corpus stay cheap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	adalsh "github.com/topk-er/adalsh"
+)
+
+func main() {
+	k := flag.Int("k", 3, "number of trending stories to track")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	flag.Parse()
+
+	// A pre-generated day of articles, consumed in arrival order.
+	bench := adalsh.SyntheticSpotSigs(1, 0.4, *seed)
+	ds := bench.Dataset
+
+	stream := adalsh.NewStream(bench.Rule, adalsh.SequenceConfig{Seed: *seed})
+
+	batch := ds.Len() / 5
+	for arrived := 0; arrived < ds.Len(); {
+		for i := 0; i < batch && arrived < ds.Len(); i++ {
+			stream.Add(ds.Records[arrived].Fields...)
+			arrived++
+		}
+		res, err := stream.TopK(*k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("after %4d articles, top %d stories:", arrived, *k)
+		for _, c := range res.Clusters {
+			fmt.Printf("  %4d", c.Size())
+		}
+		evals := stream.CachedHashEvals()
+		fmt.Printf("   (query %.0fms, %d cumulative hash evals)\n",
+			res.Stats.Elapsed.Seconds()*1000, evals[0])
+	}
+}

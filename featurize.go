@@ -1,0 +1,46 @@
+package adalsh
+
+import (
+	"strings"
+
+	"github.com/topk-er/adalsh/internal/shingle"
+)
+
+// Featurization helpers: turn raw text into the Set and Bits fields the
+// matching rules operate on. All of them are deterministic (FNV-based
+// token hashing), so the same text always produces the same features.
+
+// TokenSet hashes each token into a set (bag of words as a set): the
+// simplest Jaccard feature.
+func TokenSet(tokens []string) Set { return shingle.Tokens(tokens) }
+
+// Tokenize lower-cases and splits a document on whitespace — a
+// convenience for the common TokenSet(Tokenize(doc)) pipeline.
+func Tokenize(doc string) []string {
+	return strings.Fields(strings.ToLower(doc))
+}
+
+// WordShingles builds the set of all windows of w consecutive tokens —
+// the classic near-duplicate feature, order-sensitive unlike TokenSet.
+func WordShingles(tokens []string, w int) Set { return shingle.Words(tokens, w) }
+
+// CharShingles builds the set of character n-grams of a string — robust
+// to typos, useful for short fields like names and titles.
+func CharShingles(s string, n int) Set { return shingle.Chars(s, n) }
+
+// SpotSignatureConfig parameterizes SpotSignatures.
+type SpotSignatureConfig = shingle.SpotConfig
+
+// SpotSignatures extracts SpotSigs-style signatures (chains of content
+// words anchored at stopwords) — robust against boilerplate when
+// deduplicating web articles. The zero config uses English stopword
+// anchors with chain length 2.
+func SpotSignatures(tokens []string, cfg SpotSignatureConfig) Set {
+	return shingle.Spots(tokens, cfg)
+}
+
+// SimHash computes a width-bit similarity-preserving fingerprint of the
+// tokens (Charikar's simhash); compare with the Hamming metric. A
+// 256-bit fingerprint with a threshold around 0.1 is a common
+// near-duplicate setting.
+func SimHash(tokens []string, width int) Bits { return shingle.SimHash(tokens, width) }

@@ -1,0 +1,84 @@
+package adalsh_test
+
+import (
+	"testing"
+
+	adalsh "github.com/topk-er/adalsh"
+)
+
+func TestTokenizePipeline(t *testing.T) {
+	toks := adalsh.Tokenize("The Quick  brown\tfox")
+	if len(toks) != 4 || toks[0] != "the" || toks[3] != "fox" {
+		t.Fatalf("Tokenize = %v", toks)
+	}
+	s := adalsh.TokenSet(toks)
+	if s.Len() != 4 {
+		t.Fatalf("TokenSet size %d", s.Len())
+	}
+}
+
+func TestShingleHelpers(t *testing.T) {
+	if adalsh.WordShingles([]string{"a", "b", "c"}, 2).Len() != 2 {
+		t.Error("WordShingles")
+	}
+	if adalsh.CharShingles("abcd", 2).Len() != 3 {
+		t.Error("CharShingles")
+	}
+	sig := adalsh.SpotSignatures(adalsh.Tokenize("the quick fox and the lazy dog"), adalsh.SpotSignatureConfig{})
+	if sig.Len() == 0 {
+		t.Error("SpotSignatures empty")
+	}
+}
+
+func TestSimHashSimilarity(t *testing.T) {
+	base := adalsh.Tokenize("breaking storm hits the northern coast flooding several towns overnight with heavy rain and wind damage reported across the region")
+	near := append(append([]string{}, base...), "officials", "say")
+	far := adalsh.Tokenize("markets rally as central bank signals steady interest rates this quarter with investors cheering the unexpected guidance from policymakers")
+
+	const width = 256
+	hb := adalsh.SimHash(base, width)
+	hn := adalsh.SimHash(near, width)
+	hf := adalsh.SimHash(far, width)
+	dNear := adalsh.Hamming().Distance(hb, hn)
+	dFar := adalsh.Hamming().Distance(hb, hf)
+	if dNear >= dFar {
+		t.Fatalf("simhash not similarity-preserving: near %v >= far %v", dNear, dFar)
+	}
+	if dNear > 0.2 {
+		t.Fatalf("near-duplicate distance %v too large", dNear)
+	}
+	if dFar < 0.25 {
+		t.Fatalf("unrelated distance %v too small", dFar)
+	}
+	// Deterministic.
+	if adalsh.Hamming().Distance(hb, adalsh.SimHash(base, width)) != 0 {
+		t.Fatal("SimHash not deterministic")
+	}
+}
+
+// TestSimHashEndToEnd runs the whole filter over SimHash fingerprints.
+func TestSimHashEndToEnd(t *testing.T) {
+	docs := []string{
+		"breaking storm hits the northern coast flooding several towns overnight",
+		"breaking storm hits northern coast flooding several towns overnight officials say",
+		"storm hits the northern coast flooding towns overnight in the region",
+		"markets rally as central bank signals steady interest rates this quarter",
+		"markets rally after central bank signals steady rates this quarter",
+		"astronomers spot unusual comet passing beyond jupiter this week",
+	}
+	ds := &adalsh.Dataset{Name: "simhash"}
+	for _, d := range docs {
+		ds.Add(-1, adalsh.SimHash(adalsh.Tokenize(d), 256))
+	}
+	// Short documents make noisy fingerprints (each bit is a majority
+	// of only ~10 votes), so the near-duplicate threshold is looser
+	// than it would be for full articles.
+	rule := adalsh.MatchThreshold(0, adalsh.Hamming(), 0.3)
+	res, err := adalsh.Filter(ds, rule, adalsh.Config{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters[0].Size() != 3 || res.Clusters[1].Size() != 2 {
+		t.Fatalf("cluster sizes %d/%d", res.Clusters[0].Size(), res.Clusters[1].Size())
+	}
+}

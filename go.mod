@@ -1,0 +1,3 @@
+module github.com/topk-er/adalsh
+
+go 1.22

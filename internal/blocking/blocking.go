@@ -1,0 +1,201 @@
+// Package blocking implements the comparison methods of Section 6.1.1:
+// the LSH-X blocking family (one-shot LSH with X hash functions,
+// followed by pairwise verification), its nP variation (no
+// verification, Appendix E.1), and Pairs (exact pairwise computation
+// over the whole dataset).
+//
+// Per the paper, the LSH baselines get the same fairness optimizations
+// as Adaptive LSH: (1) early termination once k verified clusters
+// dominate every unverified one, (2) transitive-closure skipping inside
+// P, and (3) the same parent-pointer-tree implementation.
+package blocking
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/ppt"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// LSHXOptions configures an LSH-X run.
+type LSHXOptions struct {
+	// X is the number of hash functions applied to every record.
+	X int
+	// K is the number of top entities to find.
+	K int
+	// ReturnClusters is k-hat; zero means K.
+	ReturnClusters int
+	// SkipPairwise selects the nP variation of Appendix E.1: treat the
+	// transitive closure of stage one's buckets as final clusters
+	// without verifying any distances.
+	SkipPairwise bool
+	// Epsilon and Seed mirror core.SequenceConfig.
+	Epsilon float64
+	Seed    uint64
+}
+
+func (o LSHXOptions) khat() int {
+	if o.ReturnClusters > o.K {
+		return o.ReturnClusters
+	}
+	return o.K
+}
+
+// LSHX runs the LSH-X blocking baseline on the dataset: solve the same
+// (w,z) optimization as Adaptive LSH for budget X, apply the scheme to
+// every record, then verify candidate clusters with P largest-first
+// until the k-hat largest verified clusters dominate everything
+// unverified.
+func LSHX(ds *record.Dataset, rule distance.Rule, opts LSHXOptions) (*core.Result, error) {
+	if opts.X < 1 {
+		return nil, fmt.Errorf("blocking: X = %d, want >= 1", opts.X)
+	}
+	if opts.K < 1 {
+		return nil, fmt.Errorf("blocking: K = %d, want >= 1", opts.K)
+	}
+	// Scheme design is offline (Section 5.1: "the whole function
+	// sequence design process is run offline"), so it happens before
+	// the timed region, as for Adaptive LSH.
+	plan, err := core.DesignPlan(ds, rule, core.SequenceConfig{
+		InitialBudget: opts.X,
+		Levels:        1,
+		Epsilon:       opts.Epsilon,
+		Seed:          opts.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("blocking: designing LSH%d scheme: %w", opts.X, err)
+	}
+	return LSHXWithPlan(ds, rule, plan, opts)
+}
+
+// LSHXWithPlan runs LSH-X with a pre-designed single-function plan
+// (plan.Funcs[0] is the X-budget scheme); only the filtering work is
+// timed.
+func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts LSHXOptions) (*core.Result, error) {
+	if plan.L() != 1 {
+		return nil, fmt.Errorf("blocking: LSH-X plan must have exactly one function, got %d", plan.L())
+	}
+	start := time.Now()
+	res := &core.Result{}
+	res.Stats.HashEvals = make([]int64, len(plan.Hashers))
+
+	// Stage one: the scheme over every record, streaming (nil cache) —
+	// a one-shot application never reuses hash values.
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	var stage1 [][]int32
+	if ds.Len() > 0 {
+		stage1 = core.ApplyHash(ds, plan, plan.Funcs[0], nil, all)
+	}
+	for h, n := range plan.Funcs[0].FuncsPerHasher {
+		res.Stats.HashEvals[h] = int64(n) * int64(ds.Len())
+		res.Stats.ModelCost += float64(n) * plan.Cost.CostFunc[h] * float64(ds.Len())
+	}
+	res.Stats.HashRounds = 1
+
+	khat := opts.khat()
+	if opts.SkipPairwise {
+		// nP variation: stage-one clusters are the answer.
+		sortBySize(stage1)
+		for _, recs := range stage1 {
+			if len(res.Clusters) == khat {
+				break
+			}
+			res.Clusters = append(res.Clusters, core.Cluster{Records: recs, Level: 1})
+		}
+	} else {
+		bins := ppt.NewBins[*candidate](ds.Len())
+		for _, recs := range stage1 {
+			bins.Add(&candidate{recs: recs})
+		}
+		for len(res.Clusters) < khat {
+			c, ok := bins.PopLargest()
+			if !ok {
+				break
+			}
+			if c.verified {
+				// Optimization (1): k-hat verified clusters, each at
+				// least as large as everything left — stop here.
+				res.Clusters = append(res.Clusters, core.Cluster{Records: c.recs, ByPairwise: true})
+				continue
+			}
+			subs, pairs := core.ApplyPairwise(ds, rule, c.recs)
+			res.Stats.PairwiseRounds++
+			res.Stats.PairsComputed += pairs
+			res.Stats.ModelCost += float64(pairs) * plan.Cost.CostP
+			for _, recs := range subs {
+				bins.Add(&candidate{recs: recs, verified: true})
+			}
+		}
+	}
+	finishResult(res, start)
+	return res, nil
+}
+
+// Pairs runs the exact baseline: the pairwise computation function P
+// over the whole dataset, returning the k-hat largest connected
+// components.
+func Pairs(ds *record.Dataset, rule distance.Rule, k, returnClusters int) (*core.Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("blocking: K = %d, want >= 1", k)
+	}
+	khat := k
+	if returnClusters > k {
+		khat = returnClusters
+	}
+	start := time.Now()
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	res := &core.Result{}
+	if ds.Len() > 0 {
+		clusters, pairs := core.ApplyPairwise(ds, rule, all)
+		res.Stats.PairsComputed = pairs
+		res.Stats.PairwiseRounds = 1
+		sortBySize(clusters)
+		for _, recs := range clusters {
+			if len(res.Clusters) == khat {
+				break
+			}
+			res.Clusters = append(res.Clusters, core.Cluster{Records: recs, ByPairwise: true})
+		}
+	}
+	finishResult(res, start)
+	return res, nil
+}
+
+// candidate is a stage-one cluster awaiting verification.
+type candidate struct {
+	recs     []int32
+	verified bool
+}
+
+// Size implements ppt.Sized.
+func (c *candidate) Size() int { return len(c.recs) }
+
+func sortBySize(clusters [][]int32) {
+	sort.Slice(clusters, func(i, j int) bool {
+		if len(clusters[i]) != len(clusters[j]) {
+			return len(clusters[i]) > len(clusters[j])
+		}
+		if len(clusters[i]) == 0 {
+			return false
+		}
+		return clusters[i][0] < clusters[j][0]
+	})
+}
+
+func finishResult(res *core.Result, start time.Time) {
+	for _, c := range res.Clusters {
+		res.Output = append(res.Output, c.Records...)
+	}
+	sort.Slice(res.Output, func(i, j int) bool { return res.Output[i] < res.Output[j] })
+	res.Stats.Elapsed = time.Since(start)
+}

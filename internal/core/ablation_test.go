@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+)
+
+// TestAblationsPreserveOutput verifies that the ablation knobs change
+// only the amount of work, never the result.
+func TestAblationsPreserveOutput(t *testing.T) {
+	ds := clusteredSetDataset(t, []int{25, 15, 8, 4, 2}, 29)
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Filter(ds, plan, core.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]core.Options{
+		"no-cache": {K: 3, DisableHashCache: true},
+		"no-skip":  {K: 3, DisableTransitiveSkip: true},
+		"both":     {K: 3, DisableHashCache: true, DisableTransitiveSkip: true},
+	} {
+		res, err := core.Filter(ds, plan, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Output) != len(base.Output) {
+			t.Fatalf("%s: output size %d, want %d", name, len(res.Output), len(base.Output))
+		}
+		for i := range base.Output {
+			if res.Output[i] != base.Output[i] {
+				t.Fatalf("%s: output differs at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestNoSkipComputesMorePairs verifies the transitive-skip ablation
+// actually pays for the skipped pairs.
+func TestNoSkipComputesMorePairs(t *testing.T) {
+	ds := clusteredSetDataset(t, []int{20, 10}, 33)
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := core.Filter(ds, plan, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := core.Filter(ds, plan, core.Options{K: 2, DisableTransitiveSkip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Stats.PairsComputed <= with.Stats.PairsComputed {
+		t.Fatalf("no-skip pairs %d <= skip pairs %d", without.Stats.PairsComputed, with.Stats.PairsComputed)
+	}
+}
+
+// TestNoSkipAllPairs: with the skip disabled, P on a set of n records
+// computes exactly n(n-1)/2 distances.
+func TestNoSkipAllPairs(t *testing.T) {
+	ds := clusteredSetDataset(t, []int{10}, 41)
+	recs := make([]int32, ds.Len())
+	for i := range recs {
+		recs[i] = int32(i)
+	}
+	_, pairs := core.ApplyPairwiseNoSkip(ds, jaccardRule(), recs)
+	n := int64(ds.Len())
+	if pairs != n*(n-1)/2 {
+		t.Fatalf("pairs = %d, want %d", pairs, n*(n-1)/2)
+	}
+}

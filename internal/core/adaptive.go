@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/topk-er/adalsh/internal/ppt"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// Options controls one Adaptive LSH filtering run.
+type Options struct {
+	// K is the number of top entities to find.
+	K int
+	// ReturnClusters is the paper's k-hat (Section 6.1.2): how many of
+	// the largest final clusters to return. Returning more than K
+	// clusters trades precision for recall. Zero means K.
+	ReturnClusters int
+
+	// Ablation knobs — these disable individual design choices so
+	// their contribution can be measured (see the Ablation benchmarks
+	// in bench_test.go). Production callers leave them false.
+
+	// DisableHashCache turns off incremental computation: every
+	// transitive hashing function recomputes all of its base hash
+	// values from scratch (Section 2.2, property 4, removed).
+	DisableHashCache bool
+	// DisableTransitiveSkip makes the pairwise function P compute all
+	// pair distances, including pairs already connected transitively
+	// (Section 6.1's optimization (2), removed).
+	DisableTransitiveSkip bool
+
+	// Cache, when non-nil, supplies a long-lived hash cache so that
+	// base hash values survive across Filter calls (the Stream type
+	// uses this to amortize hashing over a growing dataset). The cache
+	// must have been created for the same dataset and plan hashers.
+	// Ignored when DisableHashCache is set.
+	Cache *Cache
+
+	// OnRound, when non-nil, is invoked after every Algorithm 1 round
+	// with a progress snapshot — hook for logging, tracing or UI.
+	// Keep it fast; it runs inside the filtering loop.
+	OnRound func(RoundInfo)
+}
+
+// RoundInfo is the per-round progress snapshot passed to
+// Options.OnRound.
+type RoundInfo struct {
+	// Round counts Algorithm 1 iterations, starting at 1 (the initial
+	// H_1 application over the whole dataset).
+	Round int
+	// ClusterSize is the size of the cluster processed this round
+	// (the whole dataset in round 1).
+	ClusterSize int
+	// Action describes what happened: "hash" (a transitive hashing
+	// function was applied), "pairwise" (P verified the cluster) or
+	// "final" (the cluster was emitted as a top-k result).
+	Action string
+	// Level is the sequence position of the hashing function applied
+	// (Action "hash"), or of the function that produced the cluster
+	// (Action "final"; 0 when P produced it).
+	Level int
+	// Emitted counts final clusters emitted so far.
+	Emitted int
+	// Pending counts clusters still queued.
+	Pending int
+}
+
+func (o Options) khat() int {
+	if o.ReturnClusters > o.K {
+		return o.ReturnClusters
+	}
+	return o.K
+}
+
+// Cluster is one final cluster of the filtering output.
+type Cluster struct {
+	// Records holds the dataset record IDs, ascending.
+	Records []int32
+	// Level is the sequence position (1-based) of the transitive
+	// hashing function that produced the cluster; 0 when the cluster
+	// is an outcome of the pairwise computation function P.
+	Level int
+	// ByPairwise reports whether P produced (verified) the cluster.
+	ByPairwise bool
+}
+
+// Size reports the cluster's record count.
+func (c *Cluster) Size() int { return len(c.Records) }
+
+// Stats aggregates the work a filtering run performed.
+type Stats struct {
+	// HashEvals counts base hash evaluations per plan hasher.
+	HashEvals []int64
+	// PairsComputed counts exact distance evaluations by P.
+	PairsComputed int64
+	// HashRounds and PairwiseRounds count Algorithm 1 iterations by
+	// the function they applied.
+	HashRounds, PairwiseRounds int
+	// ModelCost is the Definition 3 cost of the run:
+	// sum_i n_i*cost_i + n_P*cost_P.
+	ModelCost float64
+	// Elapsed is the wall-clock filtering time.
+	Elapsed time.Duration
+}
+
+// Result is the output of a filtering run.
+type Result struct {
+	// Clusters holds the k-hat largest final clusters, largest first.
+	Clusters []Cluster
+	// Output is the union of the cluster records, ascending (the
+	// filtering output set O of Section 2.1).
+	Output []int32
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// workCluster is a cluster in flight through Algorithm 1's rounds.
+type workCluster struct {
+	recs  []int32
+	level int
+	final bool
+	byP   bool
+}
+
+// Size implements ppt.Sized.
+func (c *workCluster) Size() int { return len(c.recs) }
+
+// Filter runs Algorithm 1: find the plan-rule connected components of
+// the k(hat) largest entities in ds. See FilterIncremental for the
+// streaming variant.
+func Filter(ds *record.Dataset, plan *Plan, opts Options) (*Result, error) {
+	res := &Result{}
+	err := FilterIncremental(ds, plan, opts, func(c Cluster) bool {
+		res.Clusters = append(res.Clusters, c)
+		return true
+	}, &res.Stats)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range res.Clusters {
+		res.Output = append(res.Output, c.Records...)
+	}
+	sort.Slice(res.Output, func(i, j int) bool { return res.Output[i] < res.Output[j] })
+	return res, nil
+}
+
+// FilterIncremental is the incremental output mode of Section 4.2: it
+// invokes emit for each final cluster the moment the cluster becomes
+// the largest remaining one — largest entities stream out first, and by
+// Theorem 2 each k' <= k prefix is produced with minimal cost. emit may
+// return false to stop early. stats may be nil.
+func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(Cluster) bool, stats *Stats) error {
+	if opts.K < 1 {
+		return fmt.Errorf("core: K = %d, want >= 1", opts.K)
+	}
+	if len(plan.Funcs) == 0 {
+		return fmt.Errorf("core: plan has no hashing functions")
+	}
+	if err := plan.CompatibleWith(ds); err != nil {
+		return err
+	}
+	start := time.Now()
+	khat := opts.khat()
+	L := plan.L()
+	var cache *Cache
+	if !opts.DisableHashCache {
+		cache = opts.Cache
+		if cache == nil {
+			cache = NewCache(ds, len(plan.Hashers))
+		}
+	}
+	pairwise := ApplyPairwise
+	if opts.DisableTransitiveSkip {
+		pairwise = ApplyPairwiseNoSkip
+	}
+	var st Stats
+	if stats == nil {
+		stats = &st
+	}
+
+	// Round 0: H_1 over the whole dataset (Algorithm 1 line 1).
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	bins := ppt.NewBins[*workCluster](ds.Len())
+	round := 0
+	emitted := 0
+	notify := func(action string, clusterSize, level int) {
+		if opts.OnRound == nil {
+			return
+		}
+		round++
+		opts.OnRound(RoundInfo{
+			Round: round, ClusterSize: clusterSize, Action: action,
+			Level: level, Emitted: emitted, Pending: bins.Len(),
+		})
+	}
+	if ds.Len() > 0 {
+		first := ApplyHash(ds, plan, plan.Funcs[0], cache, all)
+		stats.HashRounds++
+		stats.ModelCost += plan.Cost.Cost(plan.Funcs[0]) * float64(ds.Len())
+		for _, recs := range first {
+			bins.Add(&workCluster{recs: recs, level: 1, final: L == 1})
+		}
+		notify("hash", ds.Len(), 1)
+	}
+	for emitted < khat {
+		c, ok := bins.PopLargest()
+		if !ok {
+			break
+		}
+		if c.final {
+			// Termination bookkeeping of Appendix B.5: the largest
+			// remaining cluster is an outcome of H_L or P — it is a
+			// final top cluster.
+			out := Cluster{Records: c.recs, ByPairwise: c.byP}
+			if !c.byP {
+				out.Level = c.level
+			}
+			emitted++
+			notify("final", len(c.recs), out.Level)
+			if !emit(out) {
+				break
+			}
+			continue
+		}
+		t := c.level // last function applied, 1-based; t < L here
+		if plan.Cost.PreferPairwise(plan, t, len(c.recs)) {
+			subs, pairs := pairwise(ds, plan.Rule, c.recs)
+			stats.PairwiseRounds++
+			stats.PairsComputed += pairs
+			stats.ModelCost += float64(pairs) * plan.Cost.CostP
+			for _, recs := range subs {
+				bins.Add(&workCluster{recs: recs, final: true, byP: true})
+			}
+			notify("pairwise", len(c.recs), t)
+		} else {
+			next := plan.Funcs[t] // H_{t+1} (0-based index t)
+			subs := ApplyHash(ds, plan, next, cache, c.recs)
+			stats.HashRounds++
+			stats.ModelCost += (plan.Cost.Cost(next) - plan.Cost.Cost(plan.Funcs[t-1])) * float64(len(c.recs))
+			for _, recs := range subs {
+				bins.Add(&workCluster{recs: recs, level: t + 1, final: t+1 == L})
+			}
+			notify("hash", len(c.recs), t+1)
+		}
+	}
+	if cache != nil {
+		stats.HashEvals = cache.HashEvals()
+	} else {
+		stats.HashEvals = make([]int64, len(plan.Hashers))
+	}
+	stats.Elapsed = time.Since(start)
+	return nil
+}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// bitsDataset builds fingerprint records: entity members flip only a
+// few bits of a shared base fingerprint, different entities are random.
+func bitsDataset(sizes []int, width int, seed uint64) *record.Dataset {
+	ds := &record.Dataset{Name: "bits"}
+	rng := xhash.NewRNG(seed)
+	words := (width + 63) / 64
+	for ent, size := range sizes {
+		base := make([]uint64, words)
+		for i := range base {
+			base[i] = rng.Uint64()
+		}
+		for r := 0; r < size; r++ {
+			w := append([]uint64(nil), base...)
+			// Flip ~3% of the bits.
+			for b := 0; b < width/32; b++ {
+				pos := rng.Intn(width)
+				w[pos/64] ^= 1 << (pos % 64)
+			}
+			ds.Add(ent, record.NewBits(w, width))
+		}
+	}
+	return ds
+}
+
+// euclideanDataset builds dense-vector records where entity members
+// are small L2 perturbations of a shared center and centers are far
+// apart.
+func euclideanDataset(sizes []int, dim int, seed uint64) *record.Dataset {
+	ds := &record.Dataset{Name: "l2"}
+	rng := xhash.NewRNG(seed)
+	for ent, size := range sizes {
+		center := make(record.Vector, dim)
+		for i := range center {
+			center[i] = rng.NormFloat64() * 20
+		}
+		for r := 0; r < size; r++ {
+			v := make(record.Vector, dim)
+			for i := range v {
+				v[i] = center[i] + rng.NormFloat64()*0.3
+			}
+			ds.Add(ent, v)
+		}
+	}
+	return ds
+}
+
+// TestFilterEuclideanVectors runs the full adaptive pipeline over the
+// p-stable projection family and checks it matches the exact closure.
+func TestFilterEuclideanVectors(t *testing.T) {
+	ds := euclideanDataset([]int{16, 9, 5, 3}, 8, 51)
+	// Intra L2 distance ~ 0.3*sqrt(2*8) ~ 1.2; inter ~ 20*sqrt(16)
+	// = 80. Scale 10 with threshold 0.3 (raw distance 3) separates.
+	rule := distance.Threshold{Field: 0, Metric: distance.Euclidean{Scale: 10}, MaxDistance: 0.3}
+	plan, err := core.DesignPlan(ds, rule, core.SequenceConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Filter(ds, plan, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters[0].Size() != 16 || res.Clusters[1].Size() != 9 {
+		t.Fatalf("cluster sizes %d/%d", res.Clusters[0].Size(), res.Clusters[1].Size())
+	}
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	exact, _ := core.ApplyPairwise(ds, rule, all)
+	if len(res.Output) != len(exact[0])+len(exact[1]) {
+		t.Fatalf("adaLSH kept %d records, exact top-2 hold %d", len(res.Output), len(exact[0])+len(exact[1]))
+	}
+}
+
+// TestFilterHammingFingerprints runs the full adaptive pipeline over
+// the bit-sampling family and checks it matches the exact closure.
+func TestFilterHammingFingerprints(t *testing.T) {
+	ds := bitsDataset([]int{18, 10, 6, 3, 2}, 256, 77)
+	// Intra distance ~6% of bits (two records, each ~3% flipped);
+	// inter ~50%. Threshold 0.15 separates cleanly.
+	rule := distance.Threshold{Field: 0, Metric: distance.Hamming{}, MaxDistance: 0.15}
+	plan, err := core.DesignPlan(ds, rule, core.SequenceConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Filter(ds, plan, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	exact, _ := core.ApplyPairwise(ds, rule, all)
+	if len(res.Output) != len(exact[0])+len(exact[1]) {
+		t.Fatalf("adaLSH kept %d records, exact top-2 hold %d", len(res.Output), len(exact[0])+len(exact[1]))
+	}
+	if res.Clusters[0].Size() != 18 || res.Clusters[1].Size() != 10 {
+		t.Fatalf("cluster sizes %d/%d", res.Clusters[0].Size(), res.Clusters[1].Size())
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// Cache stores the base hash values computed for each record so far,
+// per hasher. It realizes the incremental-computation property: when a
+// later transitive hashing function processes a record, only the
+// function-prefix extension beyond what earlier functions already
+// computed is evaluated (Section 2.2, property 4).
+//
+// Memory grows with actual work: records that Adaptive LSH filters out
+// early keep only their short round-one prefixes.
+type Cache struct {
+	ds *record.Dataset
+	// vals[h][rec] is the computed prefix of hasher h's function
+	// sequence on record rec.
+	vals [][][]uint64
+	// evals[h] counts base hash evaluations per hasher (for cost
+	// accounting and the experiments' work metrics).
+	evals []int64
+}
+
+// NewCache creates an empty cache for the dataset over n hashers.
+func NewCache(ds *record.Dataset, numHashers int) *Cache {
+	c := &Cache{ds: ds, evals: make([]int64, numHashers)}
+	c.vals = make([][][]uint64, numHashers)
+	for h := range c.vals {
+		c.vals[h] = make([][]uint64, ds.Len())
+	}
+	return c
+}
+
+// Ensure returns the first n base hash values of hasher h (from plan
+// hashers) on record rec, computing and memoizing any missing suffix.
+func (c *Cache) Ensure(p *Plan, h, rec, n int) []uint64 {
+	cur := c.vals[h][rec]
+	if len(cur) >= n {
+		return cur[:n]
+	}
+	if cap(cur) < n {
+		grown := make([]uint64, len(cur), n)
+		copy(grown, cur)
+		cur = grown
+	}
+	hasher := p.Hashers[h]
+	r := &c.ds.Records[rec]
+	// Atomic: the parallel key-precompute path runs Ensure for
+	// different records concurrently (distinct vals slots, shared
+	// counter).
+	atomic.AddInt64(&c.evals[h], int64(n-len(cur)))
+	for fn := len(cur); fn < n; fn++ {
+		cur = append(cur, hasher.Hash(fn, r))
+	}
+	c.vals[h][rec] = cur
+	return cur
+}
+
+// HashEvals reports the number of base hash evaluations per hasher.
+func (c *Cache) HashEvals() []int64 {
+	out := make([]int64, len(c.evals))
+	for h := range c.evals {
+		out[h] = atomic.LoadInt64(&c.evals[h])
+	}
+	return out
+}
+
+// TotalEvals reports the total base hash evaluations across hashers.
+func (c *Cache) TotalEvals() int64 {
+	var t int64
+	for h := range c.evals {
+		t += atomic.LoadInt64(&c.evals[h])
+	}
+	return t
+}
+
+// Prefix reports how many functions of hasher h are cached for rec.
+func (c *Cache) Prefix(h, rec int) int { return len(c.vals[h][rec]) }
+
+// Grow extends the cache to cover n records (no-op if already large
+// enough). The Stream type calls this as its dataset grows; existing
+// cached prefixes are preserved.
+func (c *Cache) Grow(n int) {
+	for h := range c.vals {
+		for len(c.vals[h]) < n {
+			c.vals[h] = append(c.vals[h], nil)
+		}
+	}
+}

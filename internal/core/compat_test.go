@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+func TestPlanCompatibility(t *testing.T) {
+	ds := clusteredSetDataset(t, []int{6, 4}, 3)
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Levels: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CompatibleWith(ds); err != nil {
+		t.Fatalf("plan incompatible with its own design dataset: %v", err)
+	}
+	// Empty dataset: compatible by definition.
+	if err := plan.CompatibleWith(&record.Dataset{}); err != nil {
+		t.Fatalf("empty dataset rejected: %v", err)
+	}
+	// Wrong field kind.
+	vec := &record.Dataset{}
+	vec.Add(-1, record.Vector{1, 2})
+	if err := plan.CompatibleWith(vec); err == nil || !strings.Contains(err.Error(), "expects a set") {
+		t.Fatalf("vector dataset accepted by set plan: %v", err)
+	}
+	// Filter surfaces the mismatch as an error, not a panic.
+	if _, err := core.Filter(vec, plan, core.Options{K: 1}); err == nil {
+		t.Fatal("Filter accepted incompatible dataset")
+	}
+}
+
+func TestPlanCompatibilityDimensions(t *testing.T) {
+	ds := &record.Dataset{}
+	for i := 0; i < 8; i++ {
+		ds.Add(i%2, record.Vector{float64(i), 1, 2})
+	}
+	rule := distance.Threshold{Field: 0, Metric: distance.Cosine{}, MaxDistance: 0.1}
+	plan, err := core.DesignPlan(ds, rule, core.SequenceConfig{Levels: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := &record.Dataset{}
+	narrow.Add(-1, record.Vector{1, 2})
+	if err := plan.CompatibleWith(narrow); err == nil {
+		t.Fatal("2-dim dataset accepted by 3-dim plan")
+	}
+	// Too few fields.
+	short := &record.Dataset{}
+	short.Add(-1)
+	if err := plan.CompatibleWith(short); err == nil {
+		t.Fatal("fieldless dataset accepted")
+	}
+}
+
+func TestPlanCompatibilityWeightedMix(t *testing.T) {
+	ds := &record.Dataset{}
+	for i := 0; i < 8; i++ {
+		ds.Add(i%2, record.NewSet([]uint64{uint64(i)}), record.NewSet([]uint64{uint64(i + 100)}))
+	}
+	rule := distance.WeightedAverage{
+		Fields:  []int{0, 1},
+		Metrics: []distance.Metric{distance.Jaccard{}, distance.Jaccard{}},
+		Weights: []float64{0.5, 0.5}, MaxDistance: 0.5,
+	}
+	plan, err := core.DesignPlan(ds, rule, core.SequenceConfig{Levels: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.CompatibleWith(ds); err != nil {
+		t.Fatalf("self-compatibility failed: %v", err)
+	}
+	// A one-field dataset fails the mix's second sub-hasher.
+	oneField := &record.Dataset{}
+	oneField.Add(-1, record.NewSet([]uint64{1}))
+	if err := plan.CompatibleWith(oneField); err == nil {
+		t.Fatal("one-field dataset accepted by two-field mix plan")
+	}
+}

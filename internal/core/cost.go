@@ -1,0 +1,114 @@
+package core
+
+import (
+	"time"
+
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/lshfamily"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// CostModel is the paper's Definition 3 calibrated against the actual
+// dataset: applying P on a set S costs CostP * |S|*(|S|-1)/2; applying
+// H_i on S costs CostFunc-weighted base evaluations, i.e.
+// Cost(i) * |S|; and upgrading a record from H_j to H_i costs
+// Cost(i) - Cost(j).
+type CostModel struct {
+	// CostP is the cost of one exact pairwise rule evaluation
+	// (seconds, but only ratios matter).
+	CostP float64
+	// CostFunc[h] is the cost of one base hash evaluation of hasher h.
+	CostFunc []float64
+	// NoiseP multiplies CostP inside the Algorithm 1 line-5 decision
+	// only — the knob of the Appendix E.2 sensitivity experiment. A
+	// zero value means 1 (no noise).
+	NoiseP float64
+}
+
+// costSamples is the number of samples used to estimate each cost
+// parameter, per Section 4.1 ("estimated using 100 samples each").
+const costSamples = 100
+
+// Cost returns the per-record cost of applying H_i from scratch
+// (Definition 3's cost_i) under this model.
+func (m CostModel) Cost(hf *HashFunc) float64 {
+	c := 0.0
+	for h, n := range hf.FuncsPerHasher {
+		c += float64(n) * m.CostFunc[h]
+	}
+	return c
+}
+
+// effNoise returns the line-5 noise multiplier.
+func (m CostModel) effNoise() float64 {
+	if m.NoiseP == 0 {
+		return 1
+	}
+	return m.NoiseP
+}
+
+// PreferPairwise evaluates the Algorithm 1 line-5 test: should cluster
+// size n at sequence position t (1-based; t == L handled by the caller)
+// jump to P rather than advance to H_{t+1}?
+//
+//	(cost_{t+1} - cost_t) * |C| >= cost_P * |C| (|C|-1) / 2
+func (m CostModel) PreferPairwise(p *Plan, t, n int) bool {
+	upgrade := (m.Cost(p.Funcs[t]) - m.Cost(p.Funcs[t-1])) * float64(n)
+	pairwise := m.CostP * m.effNoise() * float64(n) * float64(n-1) / 2
+	return upgrade >= pairwise
+}
+
+// Calibrate measures CostP and CostFunc on the actual dataset with
+// deterministic sampling: 100 random pairs for CostP and 100 random
+// (record, function) evaluations per hasher for CostFunc. Tiny
+// datasets repeat samples; empty inputs yield safe defaults.
+func Calibrate(ds *record.Dataset, rule distance.Rule, hashers []lshfamily.Hasher, seed uint64) CostModel {
+	m := CostModel{CostFunc: make([]float64, len(hashers))}
+	n := ds.Len()
+	rng := xhash.NewRNG(seed ^ 0xc057c057c057c057)
+	if n >= 2 {
+		type pair struct{ a, b int }
+		pairs := make([]pair, costSamples)
+		for i := range pairs {
+			a := rng.Intn(n)
+			b := rng.Intn(n - 1)
+			if b >= a {
+				b++
+			}
+			pairs[i] = pair{a, b}
+		}
+		start := time.Now()
+		sink := false
+		for _, pr := range pairs {
+			sink = sink != rule.Match(&ds.Records[pr.a], &ds.Records[pr.b])
+		}
+		m.CostP = time.Since(start).Seconds() / costSamples
+		_ = sink
+	}
+	if m.CostP <= 0 {
+		m.CostP = 1e-9
+	}
+	for h, hasher := range hashers {
+		if n == 0 || hasher.MaxFunctions() == 0 {
+			m.CostFunc[h] = 1e-9
+			continue
+		}
+		type sample struct{ rec, fn int }
+		samples := make([]sample, costSamples)
+		for i := range samples {
+			samples[i] = sample{rng.Intn(n), rng.Intn(hasher.MaxFunctions())}
+		}
+		start := time.Now()
+		var sink uint64
+		for _, s := range samples {
+			sink ^= hasher.Hash(s.fn, &ds.Records[s.rec])
+		}
+		m.CostFunc[h] = time.Since(start).Seconds() / costSamples
+		_ = sink
+		if m.CostFunc[h] <= 0 {
+			m.CostFunc[h] = 1e-10
+		}
+	}
+	return m
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/lshfamily"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/wzopt"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// andNFunc lays out an N-way AND scheme: z tables, each concatenating
+// w[i] functions of hasher i (Appendix C.4 generalization).
+func andNFunc(seq int, w []int, z int) *HashFunc {
+	total := 0
+	for _, wi := range w {
+		total += wi
+	}
+	hf := &HashFunc{
+		Seq:    seq,
+		Budget: total * z,
+		Label:  fmt.Sprintf("andN(w=%v,z=%d)", w, z),
+	}
+	for t := 0; t < z; t++ {
+		parts := make([]TablePart, len(w))
+		for i, wi := range w {
+			parts[i] = TablePart{Hasher: i, Start: t * wi, Count: wi}
+		}
+		hf.Tables = append(hf.Tables, Table{Parts: parts})
+	}
+	return hf
+}
+
+// orNFunc lays out an N-way OR scheme: each hasher i gets its own
+// z_i tables of w_i functions.
+func orNFunc(seq int, schemes []wzopt.Scheme) *HashFunc {
+	hf := &HashFunc{Seq: seq, Label: "orN["}
+	for i, s := range schemes {
+		if i > 0 {
+			hf.Label += "|"
+		}
+		hf.Label += s.String()
+		hf.Budget += s.W * s.Z
+		for t := 0; t < s.Z; t++ {
+			hf.Tables = append(hf.Tables, Table{Parts: []TablePart{{Hasher: i, Start: t * s.W, Count: s.W}}})
+		}
+	}
+	hf.Label += "]"
+	return hf
+}
+
+// designAndN designs a plan for an AND rule over three or more leaves.
+func designAndN(ds *record.Dataset, rule distance.Rule, leaves []leafSpec, budgets []int, cfg SequenceConfig) (*Plan, error) {
+	n := len(leaves)
+	fields := make([]wzopt.FieldSpec, n)
+	for i, l := range leaves {
+		fields[i] = wzopt.FieldSpec{P: l.p, DThr: l.dthr}
+	}
+	funcs := make([]*HashFunc, len(budgets))
+	minW := make([]int, n)
+	minZ := 0
+	maxFuncs := make([]int, n)
+	for li, b := range budgets {
+		s, err := wzopt.SolveAndN(wzopt.AndNProblem{
+			Fields: fields, Epsilon: cfg.Epsilon, Budget: b,
+			MinW: append([]int(nil), minW...), MinZ: minZ,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: designing AndN H_%d: %w", li+1, err)
+		}
+		funcs[li] = andNFunc(li+1, s.W, s.Z)
+		funcs[li].fillFuncsPerHasher(n)
+		copy(minW, s.W)
+		minZ = s.Z
+		for i, nf := range funcs[li].FuncsPerHasher {
+			if nf > maxFuncs[i] {
+				maxFuncs[i] = nf
+			}
+		}
+	}
+	hashers := make([]lshfamily.Hasher, n)
+	descs := make([]lshfamily.Desc, n)
+	for i, l := range leaves {
+		seed := xhash.SplitMix64(cfg.Seed + 0xa21a + uint64(i))
+		hashers[i] = l.build(maxFuncs[i], seed)
+		descs[i] = l.desc(maxFuncs[i], seed)
+	}
+	plan := &Plan{Rule: rule, Hashers: hashers, HasherDescs: descs, Funcs: funcs}
+	plan.Cost = Calibrate(ds, rule, plan.Hashers, cfg.Seed)
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// designOrN designs a plan for an OR rule over three or more leaves.
+func designOrN(ds *record.Dataset, rule distance.Rule, leaves []leafSpec, budgets []int, cfg SequenceConfig) (*Plan, error) {
+	n := len(leaves)
+	fields := make([]wzopt.FieldSpec, n)
+	for i, l := range leaves {
+		fields[i] = wzopt.FieldSpec{P: l.p, DThr: l.dthr}
+	}
+	funcs := make([]*HashFunc, len(budgets))
+	minW := make([]int, n)
+	minZ := make([]int, n)
+	maxFuncs := make([]int, n)
+	for li, b := range budgets {
+		s, err := wzopt.SolveOrN(wzopt.OrNProblem{
+			Fields: fields, Epsilon: cfg.Epsilon, Budget: b,
+			MinW: append([]int(nil), minW...), MinZ: append([]int(nil), minZ...),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: designing OrN H_%d: %w", li+1, err)
+		}
+		funcs[li] = orNFunc(li+1, s.Schemes)
+		funcs[li].fillFuncsPerHasher(n)
+		for i, sub := range s.Schemes {
+			minW[i], minZ[i] = sub.W, sub.Z
+			if nf := funcs[li].FuncsPerHasher[i]; nf > maxFuncs[i] {
+				maxFuncs[i] = nf
+			}
+		}
+	}
+	hashers := make([]lshfamily.Hasher, n)
+	descs := make([]lshfamily.Desc, n)
+	for i, l := range leaves {
+		seed := xhash.SplitMix64(cfg.Seed + 0xa22a + uint64(i))
+		hashers[i] = l.build(maxFuncs[i], seed)
+		descs[i] = l.desc(maxFuncs[i], seed)
+	}
+	plan := &Plan{Rule: rule, Hashers: hashers, HasherDescs: descs, Funcs: funcs}
+	plan.Cost = Calibrate(ds, rule, plan.Hashers, cfg.Seed)
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}

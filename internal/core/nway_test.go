@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// threeFieldDataset builds records with three set fields; entity
+// members agree on all three.
+func threeFieldDataset(sizes []int, seed uint64) *record.Dataset {
+	ds := &record.Dataset{Name: "3f"}
+	rng := xhash.NewRNG(seed)
+	for ent, size := range sizes {
+		bases := make([][]uint64, 3)
+		for f := range bases {
+			bases[f] = make([]uint64, 30)
+			for i := range bases[f] {
+				bases[f][i] = rng.Uint64()
+			}
+		}
+		for r := 0; r < size; r++ {
+			fields := make([]record.Field, 3)
+			for f := range fields {
+				elems := make([]uint64, 0, 30)
+				for _, e := range bases[f] {
+					if rng.Float64() < 0.92 {
+						elems = append(elems, e)
+					}
+				}
+				fields[f] = record.NewSet(elems)
+			}
+			ds.Add(ent, fields...)
+		}
+	}
+	return ds
+}
+
+func threeWayRule(op string) distance.Rule {
+	leaves := make([]distance.Rule, 3)
+	for f := 0; f < 3; f++ {
+		leaves[f] = distance.Threshold{Field: f, Metric: distance.Jaccard{}, MaxDistance: 0.5}
+	}
+	if op == "and" {
+		return distance.And(leaves)
+	}
+	return distance.Or(leaves)
+}
+
+func TestDesignPlanThreeWayAnd(t *testing.T) {
+	ds := threeFieldDataset([]int{14, 8, 5, 2}, 5)
+	plan, err := core.DesignPlan(ds, threeWayRule("and"), core.SequenceConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Hashers) != 3 {
+		t.Fatalf("hashers = %d", len(plan.Hashers))
+	}
+	res, err := core.Filter(ds, plan, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check against the exact baseline.
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	exact, _ := core.ApplyPairwise(ds, threeWayRule("and"), all)
+	if len(res.Clusters[0].Records) != len(exact[0]) || len(res.Clusters[1].Records) != len(exact[1]) {
+		t.Fatalf("adaLSH top-2 sizes %d/%d, exact %d/%d",
+			res.Clusters[0].Size(), res.Clusters[1].Size(), len(exact[0]), len(exact[1]))
+	}
+}
+
+func TestDesignPlanThreeWayOr(t *testing.T) {
+	ds := threeFieldDataset([]int{12, 7, 4, 2}, 9)
+	plan, err := core.DesignPlan(ds, threeWayRule("or"), core.SequenceConfig{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Filter(ds, plan, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	exact, _ := core.ApplyPairwise(ds, threeWayRule("or"), all)
+	if len(res.Output) != len(exact[0])+len(exact[1]) {
+		t.Fatalf("adaLSH output %d records, exact top-2 hold %d", len(res.Output), len(exact[0])+len(exact[1]))
+	}
+}
+
+func TestNWayMonotoneSequences(t *testing.T) {
+	ds := threeFieldDataset([]int{8, 4}, 7)
+	for _, op := range []string{"and", "or"} {
+		plan, err := core.DesignPlan(ds, threeWayRule(op), core.SequenceConfig{Seed: 1, Levels: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		// Validate() checks prefix monotonicity; also check budgets
+		// grow along the sequence.
+		for i := 1; i < plan.L(); i++ {
+			if plan.Funcs[i].Budget < plan.Funcs[i-1].Budget {
+				t.Errorf("%s: H_%d budget %d < H_%d budget %d",
+					op, i+1, plan.Funcs[i].Budget, i, plan.Funcs[i-1].Budget)
+			}
+		}
+	}
+}

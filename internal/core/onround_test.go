@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+)
+
+func TestOnRoundHook(t *testing.T) {
+	ds := clusteredSetDataset(t, []int{15, 9, 5, 2}, 43)
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []core.RoundInfo
+	res, err := core.Filter(ds, plan, core.Options{K: 2, OnRound: func(ri core.RoundInfo) {
+		rounds = append(rounds, ri)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("hook never called")
+	}
+	// Round 1 is always the H_1 pass over the whole dataset.
+	if rounds[0].Round != 1 || rounds[0].Action != "hash" || rounds[0].ClusterSize != ds.Len() || rounds[0].Level != 1 {
+		t.Fatalf("round 1 = %+v", rounds[0])
+	}
+	finals, hashes, pairwise := 0, 0, 0
+	prev := 0
+	for _, ri := range rounds {
+		if ri.Round != prev+1 {
+			t.Fatalf("rounds not sequential: %+v after %d", ri, prev)
+		}
+		prev = ri.Round
+		switch ri.Action {
+		case "final":
+			finals++
+		case "hash":
+			hashes++
+		case "pairwise":
+			pairwise++
+		default:
+			t.Fatalf("unknown action %q", ri.Action)
+		}
+	}
+	if finals != len(res.Clusters) {
+		t.Fatalf("%d final rounds for %d clusters", finals, len(res.Clusters))
+	}
+	if last := rounds[len(rounds)-1]; last.Action != "final" || last.Emitted != len(res.Clusters) {
+		t.Fatalf("last round = %+v", last)
+	}
+	if hashes+pairwise == 0 {
+		t.Fatal("no work rounds observed")
+	}
+	// Total rounds match the stats counters plus the finals.
+	if hashes != res.Stats.HashRounds || pairwise != res.Stats.PairwiseRounds {
+		t.Fatalf("hook rounds (%d hash, %d pairwise) vs stats (%d, %d)",
+			hashes, pairwise, res.Stats.HashRounds, res.Stats.PairwiseRounds)
+	}
+}
+
+func TestOnRoundNilSafe(t *testing.T) {
+	ds := clusteredSetDataset(t, []int{5, 3}, 3)
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Seed: 1, Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Filter(ds, plan, core.Options{K: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/ppt"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// ApplyPairwise is the pairwise computation function P (Definition 2):
+// it partitions recs into the connected components of the graph whose
+// edges are record pairs within the rule's threshold(s), computing
+// exact distances.
+//
+// It implements the paper's optimization (2) from Section 6.1: pairs
+// already connected transitively through earlier matches are skipped
+// without computing their distance. The returned count is the number
+// of distances actually computed (the skipped pairs cost nothing,
+// although the cost model conservatively budgets for all pairs).
+func ApplyPairwise(ds *record.Dataset, rule distance.Rule, recs []int32) (clusters [][]int32, pairsComputed int64) {
+	return applyPairwise(ds, rule, recs, true)
+}
+
+// ApplyPairwiseNoSkip is the ablated variant: every pair's distance is
+// computed even when the pair is already transitively connected.
+func ApplyPairwiseNoSkip(ds *record.Dataset, rule distance.Rule, recs []int32) (clusters [][]int32, pairsComputed int64) {
+	return applyPairwise(ds, rule, recs, false)
+}
+
+func applyPairwise(ds *record.Dataset, rule distance.Rule, recs []int32, skipClosed bool) (clusters [][]int32, pairsComputed int64) {
+	forest := ppt.NewForest(len(recs))
+	for i := range recs {
+		forest.MakeTree(i)
+	}
+	for i := 0; i < len(recs); i++ {
+		ri := &ds.Records[recs[i]]
+		for j := i + 1; j < len(recs); j++ {
+			ra, rb := forest.Root(i), forest.Root(j)
+			if ra == rb {
+				if skipClosed {
+					continue // transitively closed already
+				}
+				pairsComputed++
+				_ = rule.Match(ri, &ds.Records[recs[j]])
+				continue
+			}
+			pairsComputed++
+			if rule.Match(ri, &ds.Records[recs[j]]) {
+				forest.Merge(ra, rb)
+			}
+		}
+	}
+	return collectClusters(forest, recs), pairsComputed
+}
+
+// PairsBetween counts and evaluates matches between two disjoint record
+// slices under the rule, returning the matching pairs. It is used by
+// the recovery process evaluation.
+func PairsBetween(ds *record.Dataset, rule distance.Rule, a, b []int32) (matches [][2]int32, pairsComputed int64) {
+	for _, i := range a {
+		ri := &ds.Records[i]
+		for _, j := range b {
+			pairsComputed++
+			if rule.Match(ri, &ds.Records[j]) {
+				matches = append(matches, [2]int32{i, j})
+			}
+		}
+	}
+	return matches, pairsComputed
+}

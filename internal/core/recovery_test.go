@@ -1,0 +1,68 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+func TestRecoverAttachesMatchingRecords(t *testing.T) {
+	ds := &record.Dataset{}
+	// Cluster material: records 0-2 mutually similar; record 3 is a
+	// left-out member of the same entity; record 4 unrelated.
+	ds.Add(0, record.NewSet([]uint64{1, 2, 3, 4}))
+	ds.Add(0, record.NewSet([]uint64{1, 2, 3, 5}))
+	ds.Add(0, record.NewSet([]uint64{1, 2, 3, 6}))
+	ds.Add(0, record.NewSet([]uint64{1, 2, 3, 7})) // left out
+	ds.Add(1, record.NewSet([]uint64{100, 200}))   // unrelated
+	rule := distance.Threshold{Field: 0, Metric: distance.Jaccard{}, MaxDistance: 0.5}
+
+	res := core.Recover(ds, rule, [][]int32{{0, 1, 2}})
+	if res.Recovered != 1 {
+		t.Fatalf("recovered %d records, want 1", res.Recovered)
+	}
+	if len(res.Clusters[0]) != 4 {
+		t.Fatalf("cluster size %d, want 4", len(res.Clusters[0]))
+	}
+	if res.Clusters[0][3] != 3 {
+		t.Fatalf("cluster = %v", res.Clusters[0])
+	}
+	// 2 left-out records x 3 cluster members = 6 comparisons.
+	if res.PairsComputed != 6 {
+		t.Fatalf("pairs = %d, want 6", res.PairsComputed)
+	}
+}
+
+func TestRecoverPrefersBestCluster(t *testing.T) {
+	ds := &record.Dataset{}
+	// Two clusters; record 4 matches both but shares more with the
+	// second.
+	ds.Add(0, record.NewSet([]uint64{1, 2, 3, 4}))
+	ds.Add(0, record.NewSet([]uint64{1, 2, 3, 9, 10, 11}))
+	ds.Add(1, record.NewSet([]uint64{1, 2, 3, 4, 5}))
+	ds.Add(1, record.NewSet([]uint64{1, 2, 3, 4, 6}))
+	ds.Add(1, record.NewSet([]uint64{1, 2, 3, 4, 7})) // left out
+	rule := distance.Threshold{Field: 0, Metric: distance.Jaccard{}, MaxDistance: 0.5}
+	res := core.Recover(ds, rule, [][]int32{{0, 1}, {2, 3}})
+	if len(res.Clusters[1]) != 3 {
+		t.Fatalf("record not attached to best cluster: %v", res.Clusters)
+	}
+}
+
+func TestRecoverNothingToDo(t *testing.T) {
+	ds := &record.Dataset{}
+	ds.Add(0, record.NewSet([]uint64{1}))
+	ds.Add(1, record.NewSet([]uint64{2}))
+	rule := distance.Threshold{Field: 0, Metric: distance.Jaccard{}, MaxDistance: 0.1}
+	res := core.Recover(ds, rule, [][]int32{{0}})
+	if res.Recovered != 0 || len(res.Clusters[0]) != 1 {
+		t.Fatalf("recovered %d", res.Recovered)
+	}
+	// Empty cluster list.
+	res = core.Recover(ds, rule, nil)
+	if res.Recovered != 0 || res.PairsComputed != 0 {
+		t.Fatal("work done with no clusters")
+	}
+}

@@ -1,0 +1,117 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// clusteredSetDataset builds a dataset of set-valued records where each
+// entity's records share most of a base set, and different entities'
+// sets are nearly disjoint. Sizes gives records per entity.
+func clusteredSetDataset(t testing.TB, sizes []int, seed uint64) *record.Dataset {
+	t.Helper()
+	ds := &record.Dataset{Name: "synthetic-sets"}
+	rng := xhash.NewRNG(seed)
+	const base = 60
+	for ent, size := range sizes {
+		core := make([]uint64, base)
+		for i := range core {
+			core[i] = rng.Uint64()
+		}
+		for r := 0; r < size; r++ {
+			elems := make([]uint64, 0, base)
+			for _, e := range core {
+				if rng.Float64() < 0.9 { // ~90% overlap within an entity
+					elems = append(elems, e)
+				}
+			}
+			for rng.Float64() < 0.3 {
+				elems = append(elems, rng.Uint64()) // a little noise
+			}
+			ds.Add(ent, record.NewSet(elems))
+		}
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("dataset invalid: %v", err)
+	}
+	return ds
+}
+
+func jaccardRule() distance.Rule {
+	return distance.Threshold{Field: 0, Metric: distance.Jaccard{}, MaxDistance: 0.5}
+}
+
+func sameRecordSet(t *testing.T, got []int32, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("output size = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if int(got[i]) != want[i] {
+			t.Fatalf("output[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFilterFindsTopEntities(t *testing.T) {
+	sizes := []int{40, 25, 12, 6, 4, 3, 2, 2, 1, 1}
+	ds := clusteredSetDataset(t, sizes, 7)
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Seed: 11})
+	if err != nil {
+		t.Fatalf("DesignPlan: %v", err)
+	}
+	for _, k := range []int{1, 2, 3} {
+		res, err := core.Filter(ds, plan, core.Options{K: k})
+		if err != nil {
+			t.Fatalf("Filter(k=%d): %v", k, err)
+		}
+		if len(res.Clusters) != k {
+			t.Fatalf("Filter(k=%d) returned %d clusters", k, len(res.Clusters))
+		}
+		sameRecordSet(t, res.Output, ds.TopKRecords(k))
+		for i := 1; i < len(res.Clusters); i++ {
+			if res.Clusters[i].Size() > res.Clusters[i-1].Size() {
+				t.Fatalf("clusters not size-descending at %d", i)
+			}
+		}
+	}
+}
+
+func TestFilterMatchesPairsBaseline(t *testing.T) {
+	sizes := []int{30, 18, 9, 5, 3, 2, 1, 1}
+	ds := clusteredSetDataset(t, sizes, 21)
+	rule := jaccardRule()
+	plan, err := core.DesignPlan(ds, rule, core.SequenceConfig{Seed: 5})
+	if err != nil {
+		t.Fatalf("DesignPlan: %v", err)
+	}
+	res, err := core.Filter(ds, plan, core.Options{K: 3})
+	if err != nil {
+		t.Fatalf("Filter: %v", err)
+	}
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	exact, _ := core.ApplyPairwise(ds, rule, all)
+	var want []int
+	for i := 0; i < 3; i++ {
+		for _, r := range exact[i] {
+			want = append(want, int(r))
+		}
+	}
+	sortInts(want)
+	sameRecordSet(t, res.Output, want)
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// Stream answers top-k entity queries over a growing dataset — the
+// online setting the paper sketches as future work in Section 9. The
+// stream keeps one long-lived hash cache: base hash values computed for
+// a record during one query are reused by every later query, so after
+// records stop arriving the marginal cost of a query approaches the
+// cost of re-clustering alone, with no re-hashing.
+//
+// The hashing plan is designed lazily at the first query (it needs
+// records for vector dimensions and cost calibration) and kept for the
+// stream's lifetime. Stream is not safe for concurrent use.
+type Stream struct {
+	rule  distance.Rule
+	cfg   SequenceConfig
+	ds    *record.Dataset
+	plan  *Plan
+	cache *Cache
+}
+
+// NewStream creates an empty stream for the given matching rule.
+func NewStream(rule distance.Rule, cfg SequenceConfig) *Stream {
+	return &Stream{rule: rule, cfg: cfg, ds: &record.Dataset{Name: "stream"}}
+}
+
+// Add appends a record and returns its ID. The fields must follow the
+// same layout as every other record in the stream.
+func (s *Stream) Add(fields ...record.Field) int {
+	return s.ds.Add(-1, fields...)
+}
+
+// AddWithTruth appends a record with a ground-truth entity label
+// (useful in evaluation settings).
+func (s *Stream) AddWithTruth(entity int, fields ...record.Field) int {
+	return s.ds.Add(entity, fields...)
+}
+
+// Len reports the number of records in the stream.
+func (s *Stream) Len() int { return s.ds.Len() }
+
+// Dataset exposes the stream's accumulated dataset (read-only use).
+func (s *Stream) Dataset() *record.Dataset { return s.ds }
+
+// TopK returns the records of the k largest entities among everything
+// added so far. The first call designs the hashing plan; subsequent
+// calls reuse it and all previously computed hash values.
+func (s *Stream) TopK(k int) (*Result, error) {
+	return s.TopKClusters(k, 0)
+}
+
+// TopKClusters is TopK with an explicit k-hat (number of clusters to
+// return).
+func (s *Stream) TopKClusters(k, returnClusters int) (*Result, error) {
+	if s.ds.Len() == 0 {
+		return nil, fmt.Errorf("core: stream has no records")
+	}
+	if err := s.ds.Validate(); err != nil {
+		return nil, err
+	}
+	if s.plan == nil {
+		plan, err := DesignPlan(s.ds, s.rule, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.plan = plan
+		s.cache = NewCache(s.ds, len(plan.Hashers))
+	}
+	s.cache.Grow(s.ds.Len())
+	return Filter(s.ds, s.plan, Options{K: k, ReturnClusters: returnClusters, Cache: s.cache})
+}
+
+// Plan exposes the designed plan (nil before the first query).
+func (s *Stream) Plan() *Plan { return s.plan }
+
+// CachedHashEvals reports the cumulative number of base hash
+// evaluations performed across all queries, per hasher. The amortizing
+// effect of the stream shows as this growing sublinearly in the number
+// of queries.
+func (s *Stream) CachedHashEvals() []int64 {
+	if s.cache == nil {
+		return nil
+	}
+	return s.cache.HashEvals()
+}

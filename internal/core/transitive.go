@@ -1,0 +1,170 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/topk-er/adalsh/internal/ppt"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// parallelHashThreshold is the cluster size above which bucket keys are
+// precomputed by parallel workers. Hashing dominates the cost of a
+// transitive hashing function; the table insertion that follows stays
+// sequential, so results are identical to the serial path.
+const parallelHashThreshold = 4096
+
+// ApplyHash applies transitive hashing function hf to the records in
+// recs (dataset record IDs) and returns the resulting partition, one
+// slice of record IDs per cluster (Definition 1: the connected
+// components of the bucket-collision graph).
+//
+// Each invocation uses a fresh set of hash tables and a fresh
+// parent-pointer forest, per Appendix B.2: reusing tables across
+// invocations could merge clusters from different invocations. Base
+// hash values, however, are reused through the cache, which is where
+// the incremental-computation saving comes from. A nil cache streams
+// instead — each record's hash values live only while that record is
+// inserted — which one-shot blocking baselines use to bound memory.
+func ApplyHash(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []int32) [][]int32 {
+	forest := ppt.NewForest(len(recs))
+	tables := make([]map[uint64]int32, len(hf.Tables))
+	for t := range tables {
+		tables[t] = make(map[uint64]int32, len(recs))
+	}
+	numTables := len(hf.Tables)
+
+	// Precompute every record's bucket keys, in parallel for large
+	// inputs. Insertion order below is fixed by record order, so the
+	// partition is byte-identical to a serial run.
+	var keys []uint64
+	if workers := runtime.GOMAXPROCS(0); len(recs) >= parallelHashThreshold && workers > 1 {
+		keys = make([]uint64, len(recs)*numTables)
+		var wg sync.WaitGroup
+		chunk := (len(recs) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				scratch := newKeyScratch(ds, p, hf, cache)
+				for li := lo; li < hi; li++ {
+					scratch.keysFor(recs[li], keys[li*numTables:(li+1)*numTables])
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	scratch := newKeyScratch(ds, p, hf, cache)
+	rowKeys := make([]uint64, numTables)
+	for li, rec := range recs {
+		row := rowKeys
+		if keys != nil {
+			row = keys[li*numTables : (li+1)*numTables]
+		} else {
+			scratch.keysFor(rec, row)
+		}
+		for t, key := range row {
+			li32 := int32(li)
+			last, occupied := tables[t][key]
+			if !forest.InTree(li) {
+				forest.MakeTree(li) // cases 1 and 3 of Figure 19
+			}
+			if occupied {
+				ra, rb := forest.Root(int(last)), forest.Root(li)
+				if ra != rb {
+					forest.Merge(ra, rb) // case 3/4 merge
+				}
+			}
+			// The bucket remembers the record last added: starting the
+			// root walk from it keeps paths short (Appendix B.2).
+			tables[t][key] = li32
+		}
+	}
+	return collectClusters(forest, recs)
+}
+
+// keyScratch computes a record's bucket keys, either through the
+// shared cache (concurrent-safe across distinct records) or into
+// private per-hasher buffers when streaming.
+type keyScratch struct {
+	ds    *record.Dataset
+	p     *Plan
+	hf    *HashFunc
+	cache *Cache
+	// stream buffers, used only when cache == nil.
+	buf [][]uint64
+}
+
+func newKeyScratch(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache) *keyScratch {
+	s := &keyScratch{ds: ds, p: p, hf: hf, cache: cache}
+	if cache == nil {
+		s.buf = make([][]uint64, len(p.Hashers))
+		for h, n := range hf.FuncsPerHasher {
+			s.buf[h] = make([]uint64, n)
+		}
+	}
+	return s
+}
+
+// keysFor fills out[t] with record rec's bucket key for each table t.
+func (s *keyScratch) keysFor(rec int32, out []uint64) {
+	if s.cache == nil {
+		r := &s.ds.Records[rec]
+		for h, n := range s.hf.FuncsPerHasher {
+			for fn := 0; fn < n; fn++ {
+				s.buf[h][fn] = s.p.Hashers[h].Hash(fn, r)
+			}
+		}
+	}
+	for t, table := range s.hf.Tables {
+		key := xhash.CombineInit ^ xhash.SplitMix64(uint64(t)+0x51ed2701)
+		for _, part := range table.Parts {
+			var vals []uint64
+			if s.cache != nil {
+				vals = s.cache.Ensure(s.p, part.Hasher, int(rec), s.hf.FuncsPerHasher[part.Hasher])
+			} else {
+				vals = s.buf[part.Hasher]
+			}
+			for _, v := range vals[part.Start : part.Start+part.Count] {
+				key = xhash.Combine(key, v)
+			}
+		}
+		out[t] = key
+	}
+}
+
+// collectClusters converts a forest over local indices back to dataset
+// record IDs, one cluster per tree, deterministically ordered (largest
+// first, ties on first record).
+func collectClusters(forest *ppt.Forest, recs []int32) [][]int32 {
+	roots := forest.Roots()
+	out := make([][]int32, 0, len(roots))
+	var leaves []int32
+	for _, r := range roots {
+		leaves = forest.Leaves(leaves[:0], r)
+		cluster := make([]int32, len(leaves))
+		for i, l := range leaves {
+			cluster[i] = recs[l]
+		}
+		sort.Slice(cluster, func(i, j int) bool { return cluster[i] < cluster[j] })
+		out = append(out, cluster)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out
+}

@@ -1,0 +1,56 @@
+package datasets
+
+import (
+	"sort"
+
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// sampleDistances draws intra-entity and inter-entity record pairs and
+// returns their distances under dist.
+func sampleDistances(ds *record.Dataset, dist func(a, b *record.Record) float64, n int, seed uint64) (intra, inter []float64) {
+	rng := xhash.NewRNG(seed)
+	ents := ds.Entities()
+	var multi []int
+	for id, recs := range ents {
+		if len(recs) >= 2 {
+			multi = append(multi, id)
+		}
+	}
+	sort.Ints(multi)
+	for i := 0; i < n && len(multi) > 0; i++ {
+		recs := ents[multi[rng.Intn(len(multi))]]
+		a := recs[rng.Intn(len(recs))]
+		b := recs[rng.Intn(len(recs))]
+		if a == b {
+			continue
+		}
+		intra = append(intra, dist(&ds.Records[a], &ds.Records[b]))
+	}
+	for i := 0; i < n; i++ {
+		a := rng.Intn(ds.Len())
+		b := rng.Intn(ds.Len())
+		if a == b || ds.Truth[a] == ds.Truth[b] {
+			continue
+		}
+		inter = append(inter, dist(&ds.Records[a], &ds.Records[b]))
+	}
+	sort.Float64s(intra)
+	sort.Float64s(inter)
+	return intra, inter
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// fractionBelow reports the fraction of values <= x.
+func fractionBelow(sorted []float64, x float64) float64 {
+	n := sort.SearchFloat64s(sorted, x+1e-12)
+	return float64(n) / float64(len(sorted))
+}

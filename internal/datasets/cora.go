@@ -1,0 +1,146 @@
+package datasets
+
+import (
+	"fmt"
+	"strconv"
+
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/shingle"
+	"github.com/topk-er/adalsh/internal/textgen"
+	"github.com/topk-er/adalsh/internal/xhash"
+	"github.com/topk-er/adalsh/internal/zipfian"
+)
+
+// Cora dimensions: ~1900 records over ~190 entities with a ~230-record
+// head, matching the published Cora citation-matching statistics.
+const (
+	coraRecords  = 1900
+	coraEntities = 190
+	coraTop1     = 230
+)
+
+// CoraFields names the three shingle-set fields of a Cora record.
+const (
+	CoraTitle = iota
+	CoraAuthors
+	CoraRest
+)
+
+// CoraRule is the paper's Cora AND rule: the average Jaccard similarity
+// of the title and author sets must be at least 0.7 (i.e. average
+// distance <= 0.3) AND the rest-of-record Jaccard similarity at least
+// 0.2 (distance <= 0.8).
+func CoraRule() distance.Rule {
+	return distance.And{
+		distance.WeightedAverage{
+			Fields:      []int{CoraTitle, CoraAuthors},
+			Metrics:     []distance.Metric{distance.Jaccard{}, distance.Jaccard{}},
+			Weights:     []float64{0.5, 0.5},
+			MaxDistance: 0.3,
+		},
+		distance.Threshold{Field: CoraRest, Metric: distance.Jaccard{}, MaxDistance: 0.8},
+	}
+}
+
+// coraEntity is the canonical (unperturbed) publication.
+type coraEntity struct {
+	title   []string
+	authors [][2]string // first, last
+	venue   []string
+	volume  int
+	pages   [2]int
+	year    int
+}
+
+// Cora builds the Cora-like dataset at the given scale factor (1, 2, 4
+// or 8 in the paper). The rule is CoraRule.
+func Cora(scale int, seed uint64) *Benchmark {
+	return &Benchmark{Dataset: CoraDataset(scale, seed), Rule: CoraRule()}
+}
+
+// CoraDataset builds just the records (see Cora).
+func CoraDataset(scale int, seed uint64) *record.Dataset {
+	return Scale(coraBase(seed), scale, seed)
+}
+
+func coraBase(seed uint64) *record.Dataset {
+	rng := xhash.NewRNG(seed ^ 0xc04ac04a)
+	vocab := textgen.NewVocabulary(4000, rng.Uint64())
+	names := textgen.NewVocabulary(1500, rng.Uint64())
+	venues := textgen.NewVocabulary(300, rng.Uint64())
+
+	sizes := zipfian.SizesWithHead(coraRecords, coraEntities, coraTop1, 1.0)
+	entities := make([]coraEntity, len(sizes))
+	for i := range entities {
+		nAuthors := 2 + rng.Intn(4)
+		authors := make([][2]string, nAuthors)
+		for a := range authors {
+			authors[a] = [2]string{names.SampleUniform(rng), names.SampleUniform(rng)}
+		}
+		entities[i] = coraEntity{
+			title:   vocab.Words(rng, 6+rng.Intn(5)),
+			authors: authors,
+			venue:   venues.Words(rng, 3+rng.Intn(4)),
+			volume:  1 + rng.Intn(60),
+			pages:   [2]int{1 + rng.Intn(400), 0},
+			year:    1970 + rng.Intn(45),
+		}
+		entities[i].pages[1] = entities[i].pages[0] + 5 + rng.Intn(25)
+	}
+
+	truth := entitySizes(sizes)
+	order := interleave(len(truth), rng)
+	ds := &record.Dataset{Name: "Cora"}
+	for _, pos := range order {
+		ent := truth[pos]
+		title, authors, rest := coraRecord(rng, &entities[ent])
+		ds.Add(ent, title, authors, rest)
+	}
+	return ds
+}
+
+// coraRecord renders one perturbed record of a publication into its
+// three shingle sets.
+func coraRecord(rng *xhash.RNG, e *coraEntity) (title, authors, rest record.Set) {
+	// Title: occasional word drops and typos, as in hand-entered
+	// citation strings.
+	title = shingle.Tokens(textgen.PerturbWords(rng, e.title, 0.02, 0.03))
+
+	// Authors: initials instead of first names, dropped middle
+	// authors, occasional typos in last names.
+	var toks []string
+	for i, a := range e.authors {
+		if i > 0 && i < len(e.authors)-1 && rng.Float64() < 0.02 {
+			continue // "et al." style omission
+		}
+		first := a[0]
+		if rng.Float64() < 0.15 {
+			first = first[:1] // abbreviate to initial
+		}
+		last := a[1]
+		if rng.Float64() < 0.02 {
+			last = textgen.Typo(rng, last)
+		}
+		toks = append(toks, first, last)
+	}
+	authors = shingle.Tokens(toks)
+
+	// Rest: venue words plus numeric tokens, each dropped or reshaped
+	// with moderate probability — citation styles disagree a lot here,
+	// which is why the paper's threshold for this field is only 0.2.
+	restToks := textgen.PerturbWords(rng, e.venue, 0.15, 0.05)
+	if rng.Float64() < 0.85 {
+		restToks = append(restToks, "vol"+strconv.Itoa(e.volume))
+	}
+	if rng.Float64() < 0.75 {
+		restToks = append(restToks, fmt.Sprintf("pp%d-%d", e.pages[0], e.pages[1]))
+	} else if rng.Float64() < 0.5 {
+		restToks = append(restToks, "pp"+strconv.Itoa(e.pages[0]))
+	}
+	if rng.Float64() < 0.9 {
+		restToks = append(restToks, strconv.Itoa(e.year))
+	}
+	rest = shingle.Tokens(restToks)
+	return title, authors, rest
+}

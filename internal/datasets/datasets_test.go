@@ -1,0 +1,158 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+func TestCoraShape(t *testing.T) {
+	b := Cora(1, 42)
+	ds := b.Dataset
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ds.Len() != coraRecords {
+		t.Fatalf("records = %d, want %d", ds.Len(), coraRecords)
+	}
+	if got := len(ds.Entities()); got != coraEntities {
+		t.Fatalf("entities = %d, want %d", got, coraEntities)
+	}
+	top := ds.TopEntities(1)
+	if len(top[0]) != coraTop1 {
+		t.Fatalf("top-1 size = %d, want %d", len(top[0]), coraTop1)
+	}
+}
+
+func TestCoraCalibration(t *testing.T) {
+	b := Cora(1, 42)
+	rule := b.Rule
+	match := func(a, r *record.Record) float64 {
+		if rule.Match(a, r) {
+			return 0
+		}
+		return 1
+	}
+	intra, inter := sampleDistances(b.Dataset, match, 3000, 1)
+	intraMatch := fractionBelow(intra, 0)
+	interMatch := fractionBelow(inter, 0)
+	t.Logf("Cora: intra-entity match rate %.3f, inter-entity match rate %.4f", intraMatch, interMatch)
+	if intraMatch < 0.80 {
+		t.Errorf("intra-entity match rate %.3f too low; same-entity records rarely satisfy the rule", intraMatch)
+	}
+	if interMatch > 0.01 {
+		t.Errorf("inter-entity match rate %.4f too high; entities blur together", interMatch)
+	}
+}
+
+func TestSpotSigsShape(t *testing.T) {
+	b := SpotSigs(1, 0.4, 42)
+	ds := b.Dataset
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ds.Len() != spotRecords {
+		t.Fatalf("records = %d, want %d", ds.Len(), spotRecords)
+	}
+	if got := len(ds.Entities()); got != spotEntities {
+		t.Fatalf("entities = %d, want %d", got, spotEntities)
+	}
+	// Spot-signature sets should be big (high-dimensional): hashing a
+	// record is expensive relative to Cora, as in the paper.
+	total := 0
+	for i := range ds.Records {
+		total += ds.Records[i].Fields[0].Len()
+	}
+	if avg := total / ds.Len(); avg < 80 {
+		t.Errorf("average spot-signature set size %d, want >= 80", avg)
+	}
+}
+
+func TestSpotSigsCalibration(t *testing.T) {
+	b := SpotSigs(1, 0.4, 42)
+	jac := func(a, r *record.Record) float64 {
+		return distance.JaccardSet(a.Fields[0].(record.Set), r.Fields[0].(record.Set))
+	}
+	intra, inter := sampleDistances(b.Dataset, jac, 3000, 2)
+	t.Logf("SpotSigs intra: p10=%.3f p50=%.3f p90=%.3f | inter: p01=%.3f p10=%.3f p50=%.3f",
+		quantile(intra, 0.1), quantile(intra, 0.5), quantile(intra, 0.9),
+		quantile(inter, 0.01), quantile(inter, 0.1), quantile(inter, 0.5))
+	// Threshold 0.4 similarity = 0.6 distance. By design roughly half
+	// of the intra-entity pairs are within the threshold: same-version
+	// republications match, the major-rewrite versions do not (that gap
+	// is what produces the paper's sub-1.0 F1 Gold on SpotSigs).
+	if f := fractionBelow(intra, 0.6); f < 0.40 || f > 0.85 {
+		t.Errorf("%.3f of intra-entity pairs within the 0.4-similarity threshold, want 0.40..0.85", f)
+	}
+	if f := fractionBelow(inter, 0.6); f > 0.005 {
+		t.Errorf("%.4f of inter-entity pairs within the threshold; stories not distinct", f)
+	}
+}
+
+func TestPopularImagesShape(t *testing.T) {
+	b := PopularImages("1.1", 3, 42)
+	ds := b.Dataset
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if ds.Len() != imageRecords {
+		t.Fatalf("records = %d, want %d", ds.Len(), imageRecords)
+	}
+	if got := len(ds.Entities()); got != imageEntities {
+		t.Fatalf("entities = %d, want %d", got, imageEntities)
+	}
+	top := ds.TopEntities(3)
+	t.Logf("PopularImages1.1 head: %d %d %d", len(top[0]), len(top[1]), len(top[2]))
+	if len(top[0]) != imageTop1["1.1"] {
+		t.Fatalf("top-1 size = %d, want %d", len(top[0]), imageTop1["1.1"])
+	}
+}
+
+func TestPopularImagesCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("image generation in -short mode")
+	}
+	b := PopularImages("1.05", 3, 42)
+	cos := func(a, r *record.Record) float64 {
+		return distance.CosineVec(a.Fields[0].(record.Vector), r.Fields[0].(record.Vector)) * 180
+	}
+	intra, inter := sampleDistances(b.Dataset, cos, 3000, 3)
+	t.Logf("PopularImages intra degrees: p10=%.2f p50=%.2f p90=%.2f | inter: p01=%.2f p10=%.2f p50=%.2f",
+		quantile(intra, 0.1), quantile(intra, 0.5), quantile(intra, 0.9),
+		quantile(inter, 0.01), quantile(inter, 0.1), quantile(inter, 0.5))
+	// At 3 degrees most transformations of the same image should match.
+	if f := fractionBelow(intra, 3); f < 0.6 {
+		t.Errorf("only %.3f of intra-entity pairs within 3 degrees", f)
+	}
+	// The challenging regime: a small but non-zero fraction of
+	// inter-entity pairs sits below 5 degrees (near-threshold noise).
+	below5 := fractionBelow(inter, 5)
+	t.Logf("inter-entity pairs below 5 degrees: %.4f", below5)
+	if below5 > 0.05 {
+		t.Errorf("%.4f of inter-entity pairs below 5 degrees; entities collapse", below5)
+	}
+}
+
+func TestScale(t *testing.T) {
+	b := Cora(1, 7)
+	scaled := Scale(b.Dataset, 4, 9)
+	if scaled.Len() != 4*b.Dataset.Len() {
+		t.Fatalf("scaled len = %d, want %d", scaled.Len(), 4*b.Dataset.Len())
+	}
+	if err := scaled.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if scaled.Name != "Cora4x" {
+		t.Fatalf("name = %q, want Cora4x", scaled.Name)
+	}
+	// The original prefix is intact.
+	for i := 0; i < b.Dataset.Len(); i++ {
+		if scaled.Truth[i] != b.Dataset.Truth[i] {
+			t.Fatalf("truth[%d] changed under scaling", i)
+		}
+	}
+	if got := len(scaled.Entities()); got != len(b.Dataset.Entities()) {
+		t.Fatalf("scaling invented entities: %d vs %d", got, len(b.Dataset.Entities()))
+	}
+}

@@ -1,0 +1,82 @@
+package datasets
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+func sameDataset(a, b *record.Dataset) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Records {
+		if a.Truth[i] != b.Truth[i] {
+			return false
+		}
+		for f := range a.Records[i].Fields {
+			switch fa := a.Records[i].Fields[f].(type) {
+			case record.Set:
+				fb := b.Records[i].Fields[f].(record.Set)
+				if len(fa) != len(fb) {
+					return false
+				}
+				for j := range fa {
+					if fa[j] != fb[j] {
+						return false
+					}
+				}
+			case record.Vector:
+				fb := b.Records[i].Fields[f].(record.Vector)
+				for j := range fa {
+					if fa[j] != fb[j] {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	if !sameDataset(CoraDataset(1, 5), CoraDataset(1, 5)) {
+		t.Error("Cora not deterministic")
+	}
+	if !sameDataset(SpotSigsDataset(1, 5), SpotSigsDataset(1, 5)) {
+		t.Error("SpotSigs not deterministic")
+	}
+	if sameDataset(SpotSigsDataset(1, 5), SpotSigsDataset(1, 6)) {
+		t.Error("different seeds gave identical SpotSigs")
+	}
+	if !sameDataset(Scale(CoraDataset(1, 5), 2, 7), Scale(CoraDataset(1, 5), 2, 7)) {
+		t.Error("Scale not deterministic")
+	}
+}
+
+func TestPopularImagesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("image generation")
+	}
+	if !sameDataset(PopularImagesDataset("1.05", 5), PopularImagesDataset("1.05", 5)) {
+		t.Error("PopularImages not deterministic")
+	}
+}
+
+func TestPopularImagesUnknownExponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown exponent")
+		}
+	}()
+	PopularImagesDataset("2.5", 1)
+}
+
+func TestScalePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for factor 0")
+		}
+	}()
+	Scale(&record.Dataset{}, 0, 1)
+}

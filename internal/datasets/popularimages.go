@@ -1,0 +1,73 @@
+package datasets
+
+import (
+	"fmt"
+
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/imagegen"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+	"github.com/topk-er/adalsh/internal/zipfian"
+)
+
+// PopularImages dimensions (Section 6.3): three datasets of 10000
+// records each over the same 500 base images, differing in the Zipf
+// exponent of the records-per-entity distribution. The paper reports
+// top-1 entity sizes of roughly 500, 1000 and 1700 at exponents 1.05,
+// 1.1 and 1.2; the allocator is calibrated to those head sizes.
+const (
+	imageRecords  = 10000
+	imageEntities = 500
+)
+
+// imageTop1 maps the nominal Zipf exponent to the paper-reported top-1
+// entity size.
+var imageTop1 = map[string]int{
+	"1.05": 500,
+	"1.1":  1000,
+	"1.2":  1700,
+}
+
+// PopularImagesExponents lists the available nominal exponents.
+func PopularImagesExponents() []string { return []string{"1.05", "1.1", "1.2"} }
+
+// PopularImagesRule matches two images when the cosine angle between
+// their RGB histograms is below thresholdDegrees (2, 3 or 5 in the
+// paper).
+func PopularImagesRule(thresholdDegrees float64) distance.Rule {
+	return distance.Threshold{Field: 0, Metric: distance.Cosine{}, MaxDistance: distance.Degrees(thresholdDegrees)}
+}
+
+// PopularImages builds one of the three image datasets. exponent must
+// be "1.05", "1.1" or "1.2".
+func PopularImages(exponent string, thresholdDegrees float64, seed uint64) *Benchmark {
+	return &Benchmark{Dataset: PopularImagesDataset(exponent, seed), Rule: PopularImagesRule(thresholdDegrees)}
+}
+
+// PopularImagesDataset builds just the records (see PopularImages); the
+// records do not depend on the distance threshold.
+func PopularImagesDataset(exponent string, seed uint64) *record.Dataset {
+	top1, ok := imageTop1[exponent]
+	if !ok {
+		panic(fmt.Sprintf("datasets: unknown PopularImages exponent %q (want 1.05, 1.1 or 1.2)", exponent))
+	}
+	rng := xhash.NewRNG(seed ^ 0x17a6e17a6e)
+	// The 500 base images are shared across the three datasets for a
+	// given seed (they depend only on the seed, not the exponent), as
+	// in the paper. Themes of 3 related bases create the paper's
+	// near-histogram cross-entity pairs; shuffling decorrelates theme
+	// membership from entity popularity.
+	bases := imagegen.NewThemedBases(imageEntities, 3, seed^0xba5eba5e)
+	shuffleRNG := xhash.NewRNG(seed ^ 0x0ff5e7)
+	shuffleRNG.Shuffle(len(bases), func(i, j int) { bases[i], bases[j] = bases[j], bases[i] })
+	sizes := zipfian.SizesCalibrated(imageRecords, imageEntities, top1)
+	truth := entitySizes(sizes)
+	order := interleave(len(truth), rng)
+	ds := &record.Dataset{Name: "PopularImages" + exponent}
+	for _, pos := range order {
+		ent := truth[pos]
+		tr := imagegen.RandomTransform(rng)
+		ds.Add(ent, imagegen.Histogram(tr.Apply(bases[ent])))
+	}
+	return ds
+}

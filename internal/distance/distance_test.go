@@ -1,0 +1,208 @@
+package distance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCosineKnownAngles(t *testing.T) {
+	cases := []struct {
+		a, b record.Vector
+		deg  float64
+	}{
+		{record.Vector{1, 0}, record.Vector{1, 0}, 0},
+		{record.Vector{1, 0}, record.Vector{0, 1}, 90},
+		{record.Vector{1, 0}, record.Vector{-1, 0}, 180},
+		{record.Vector{1, 0}, record.Vector{1, 1}, 45},
+		{record.Vector{2, 0}, record.Vector{5, 0}, 0}, // scale-free
+	}
+	for _, c := range cases {
+		got := Cosine{}.Distance(c.a, c.b) * 180
+		if !almostEq(got, c.deg, 1e-9) {
+			t.Errorf("angle(%v, %v) = %v deg, want %v", c.a, c.b, got, c.deg)
+		}
+	}
+}
+
+func TestCosineZeroVectors(t *testing.T) {
+	z := record.Vector{0, 0}
+	v := record.Vector{1, 2}
+	if got := CosineVec(z, z); got != 0 {
+		t.Errorf("d(0,0) = %v, want 0", got)
+	}
+	if got := CosineVec(z, v); got != 1 {
+		t.Errorf("d(0,v) = %v, want 1", got)
+	}
+}
+
+func TestCosineMismatchedDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched dims")
+		}
+	}()
+	CosineVec(record.Vector{1}, record.Vector{1, 2})
+}
+
+func TestCosineProperties(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		// Squash arbitrary floats into a finite range so the dot
+		// product cannot overflow (overflow is a caller concern).
+		va := make(record.Vector, 4)
+		vb := make(record.Vector, 4)
+		for i := 0; i < 4; i++ {
+			va[i] = math.Tanh(a[i] / 100)
+			vb[i] = math.Tanh(b[i] / 100)
+		}
+		d := CosineVec(va, vb)
+		return d >= 0 && d <= 1 && almostEq(d, CosineVec(vb, va), 1e-12) && almostEq(CosineVec(va, va), 0, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJaccardKnownSets(t *testing.T) {
+	cases := []struct {
+		a, b record.Set
+		d    float64
+	}{
+		{record.NewSet([]uint64{1, 2, 3}), record.NewSet([]uint64{1, 2, 3}), 0},
+		{record.NewSet([]uint64{1, 2}), record.NewSet([]uint64{3, 4}), 1},
+		{record.NewSet([]uint64{1, 2, 3}), record.NewSet([]uint64{2, 3, 4}), 0.5},
+		{record.Set{}, record.Set{}, 0},
+		{record.Set{}, record.NewSet([]uint64{1}), 1},
+	}
+	for _, c := range cases {
+		if got := (Jaccard{}).Distance(c.a, c.b); !almostEq(got, c.d, 1e-12) {
+			t.Errorf("jaccard(%v, %v) = %v, want %v", c.a, c.b, got, c.d)
+		}
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	f := func(a, b []uint64) bool {
+		sa, sb := record.NewSet(a), record.NewSet(b)
+		d := JaccardSet(sa, sb)
+		return d >= 0 && d <= 1 && almostEq(d, JaccardSet(sb, sa), 1e-12) && JaccardSet(sa, sa) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricP(t *testing.T) {
+	metrics := []Metric{Cosine{}, Jaccard{}}
+	for _, m := range metrics {
+		if m.P(0) != 1 || m.P(1) != 0 || m.P(0.25) != 0.75 {
+			t.Errorf("%s: p(x) != 1-x", m.Name())
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if Degrees(90) != 0.5 {
+		t.Error("Degrees(90) != 0.5")
+	}
+	if Similarity(0.4) != 0.6 {
+		t.Error("Similarity(0.4) != 0.6")
+	}
+}
+
+func rec(fields ...record.Field) *record.Record {
+	return &record.Record{Fields: fields}
+}
+
+func TestThresholdRule(t *testing.T) {
+	r := Threshold{Field: 0, Metric: Jaccard{}, MaxDistance: 0.5}
+	a := rec(record.NewSet([]uint64{1, 2, 3}))
+	b := rec(record.NewSet([]uint64{2, 3, 4}))
+	c := rec(record.NewSet([]uint64{7, 8, 9}))
+	if !r.Match(a, b) {
+		t.Error("a-b should match at distance 0.5")
+	}
+	if r.Match(a, c) {
+		t.Error("a-c should not match")
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAndOrRules(t *testing.T) {
+	near := Threshold{Field: 0, Metric: Jaccard{}, MaxDistance: 0.5}
+	far := Threshold{Field: 0, Metric: Jaccard{}, MaxDistance: 0.1}
+	a := rec(record.NewSet([]uint64{1, 2, 3}))
+	b := rec(record.NewSet([]uint64{2, 3, 4}))
+	if (And{near, far}).Match(a, b) {
+		t.Error("AND with one failing sub-rule matched")
+	}
+	if !(And{near, near}).Match(a, b) {
+		t.Error("AND with passing sub-rules did not match")
+	}
+	if !(Or{far, near}).Match(a, b) {
+		t.Error("OR with one passing sub-rule did not match")
+	}
+	if (Or{far, far}).Match(a, b) {
+		t.Error("OR with failing sub-rules matched")
+	}
+}
+
+func TestWeightedAverageRule(t *testing.T) {
+	r := WeightedAverage{
+		Fields:      []int{0, 1},
+		Metrics:     []Metric{Jaccard{}, Jaccard{}},
+		Weights:     []float64{0.5, 0.5},
+		MaxDistance: 0.3,
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Field 0 distance 0.5, field 1 distance 0: average 0.25 <= 0.3.
+	a := rec(record.NewSet([]uint64{1, 2, 3}), record.NewSet([]uint64{9}))
+	b := rec(record.NewSet([]uint64{2, 3, 4}), record.NewSet([]uint64{9}))
+	if !r.Match(a, b) {
+		t.Errorf("avg distance %v should match", r.Distance(a, b))
+	}
+	// Both fields at distance 0.5: average 0.5 > 0.3.
+	c := rec(record.NewSet([]uint64{2, 3, 4}), record.NewSet([]uint64{9, 10, 11}))
+	a2 := rec(record.NewSet([]uint64{1, 2, 3}), record.NewSet([]uint64{10, 11}))
+	if d := r.Distance(a2, c); d <= 0.3 {
+		t.Fatalf("test setup wrong: distance %v", d)
+	}
+	if r.Match(a2, c) {
+		t.Error("far pair matched")
+	}
+}
+
+func TestWeightedAverageValidate(t *testing.T) {
+	bad := []WeightedAverage{
+		{},
+		{Fields: []int{0}, Metrics: []Metric{Jaccard{}}, Weights: []float64{0.5}},
+		{Fields: []int{0, 1}, Metrics: []Metric{Jaccard{}, Jaccard{}}, Weights: []float64{0.5, -0.5}},
+		{Fields: []int{0, 1}, Metrics: []Metric{Jaccard{}}, Weights: []float64{0.5, 0.5}},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid rule", i)
+		}
+	}
+}
+
+func TestRuleStrings(t *testing.T) {
+	r := And{
+		WeightedAverage{Fields: []int{0, 1}, Metrics: []Metric{Jaccard{}, Jaccard{}}, Weights: []float64{0.5, 0.5}, MaxDistance: 0.3},
+		Threshold{Field: 2, Metric: Jaccard{}, MaxDistance: 0.8},
+	}
+	if s := r.String(); s == "" {
+		t.Error("empty AND string")
+	}
+	if s := (Or{r[0], r[1]}).String(); s == "" {
+		t.Error("empty OR string")
+	}
+}

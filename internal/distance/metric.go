@@ -1,0 +1,251 @@
+// Package distance provides the distance metrics and record-matching
+// rules used by the filtering stage: cosine distance over dense
+// vectors, Jaccard distance over shingle sets, and the compound rules
+// (AND, OR, weighted average) of the paper's Appendix C.
+//
+// All distances are normalized to [0, 1]: for cosine, the angle between
+// the vectors divided by 180 degrees; for Jaccard, one minus the
+// Jaccard similarity. Both metrics admit LSH families whose single-
+// function collision probability is p(x) = 1 - x at normalized
+// distance x (random hyperplanes and MinHash respectively).
+package distance
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// Metric computes a normalized distance in [0, 1] between two fields of
+// the same kind, and exposes the collision probability p(x) of its
+// associated base LSH family (used by the (w,z)-scheme optimizer).
+type Metric interface {
+	// Distance returns the normalized distance between a and b.
+	Distance(a, b record.Field) float64
+	// P returns the probability that one randomly chosen base hash
+	// function collides on two records at normalized distance x.
+	P(x float64) float64
+	// FieldKind reports the field kind the metric applies to.
+	FieldKind() record.FieldKind
+	// Name identifies the metric in reports.
+	Name() string
+}
+
+// Cosine is the cosine (angular) distance between dense vectors,
+// normalized as angle/180deg. Its LSH family is random hyperplanes
+// (Example 2 of the paper), with p(x) = 1 - x.
+type Cosine struct{}
+
+// Distance implements Metric. It panics if either field is not a
+// record.Vector, mirroring the dataset layout contract.
+func (Cosine) Distance(a, b record.Field) float64 {
+	va, vb := a.(record.Vector), b.(record.Vector)
+	return CosineVec(va, vb)
+}
+
+// CosineVec returns the normalized angular distance between two
+// vectors. A zero vector is at maximal distance from everything except
+// another zero vector.
+func CosineVec(va, vb record.Vector) float64 {
+	if len(va) != len(vb) {
+		panic(fmt.Sprintf("distance: cosine over mismatched dimensions %d and %d", len(va), len(vb)))
+	}
+	var dot, na, nb float64
+	for i := range va {
+		dot += va[i] * vb[i]
+		na += va[i] * va[i]
+		nb += vb[i] * vb[i]
+	}
+	if na == 0 || nb == 0 {
+		if na == 0 && nb == 0 {
+			return 0
+		}
+		return 1
+	}
+	c := dot / math.Sqrt(na*nb)
+	// Clamp against floating-point drift before acos.
+	if c > 1 {
+		c = 1
+	} else if c < -1 {
+		c = -1
+	}
+	return math.Acos(c) / math.Pi
+}
+
+// P implements Metric: random hyperplanes collide with probability
+// 1 - theta/180 at angle theta.
+func (Cosine) P(x float64) float64 { return 1 - x }
+
+// FieldKind implements Metric.
+func (Cosine) FieldKind() record.FieldKind { return record.VectorKind }
+
+// Name implements Metric.
+func (Cosine) Name() string { return "cosine" }
+
+// Jaccard is the Jaccard distance between sets: 1 - |A cap B|/|A cup B|.
+// Its LSH family is MinHash, with p(x) = 1 - x.
+type Jaccard struct{}
+
+// Distance implements Metric. It panics if either field is not a
+// record.Set.
+func (Jaccard) Distance(a, b record.Field) float64 {
+	sa, sb := a.(record.Set), b.(record.Set)
+	return JaccardSet(sa, sb)
+}
+
+// JaccardSet returns the Jaccard distance between two sorted sets.
+// Two empty sets are at distance 0.
+func JaccardSet(sa, sb record.Set) float64 {
+	if len(sa) == 0 && len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] == sb[j]:
+			inter++
+			i++
+			j++
+		case sa[i] < sb[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return 1 - float64(inter)/float64(union)
+}
+
+// P implements Metric: a random MinHash function collides with
+// probability equal to the Jaccard similarity, i.e. 1 - x.
+func (Jaccard) P(x float64) float64 { return 1 - x }
+
+// FieldKind implements Metric.
+func (Jaccard) FieldKind() record.FieldKind { return record.SetKind }
+
+// Name implements Metric.
+func (Jaccard) Name() string { return "jaccard" }
+
+// Euclidean is the scaled L2 distance between dense vectors:
+// ||a-b|| / Scale, clamped to 1. Its LSH family is p-stable
+// projection (E2LSH): h(v) = floor((g.v + b) / w) with Gaussian g,
+// whose single-function collision probability at scaled distance c is
+//
+//	p(c) = 1 - 2*Phi(-w/c) - (2c/(sqrt(2 pi) w)) (1 - exp(-w^2/(2c^2)))
+//
+// where w = BucketFraction (the bucket width, also in scaled units).
+type Euclidean struct {
+	// Scale is the distance at which two vectors are considered
+	// maximally far; pick it around 2-4x the match threshold.
+	Scale float64
+	// BucketFraction is the projection bucket width as a fraction of
+	// Scale. Zero means the 0.25 default. Larger buckets collide more.
+	BucketFraction float64
+}
+
+// EffectiveBucket returns the bucket width in scaled units.
+func (e Euclidean) EffectiveBucket() float64 {
+	if e.BucketFraction == 0 {
+		return 0.25
+	}
+	return e.BucketFraction
+}
+
+// Distance implements Metric. It panics if either field is not a
+// record.Vector or Scale is not positive.
+func (e Euclidean) Distance(a, b record.Field) float64 {
+	if e.Scale <= 0 {
+		panic("distance: Euclidean.Scale must be positive")
+	}
+	va, vb := a.(record.Vector), b.(record.Vector)
+	if len(va) != len(vb) {
+		panic(fmt.Sprintf("distance: euclidean over mismatched dimensions %d and %d", len(va), len(vb)))
+	}
+	var sum float64
+	for i := range va {
+		d := va[i] - vb[i]
+		sum += d * d
+	}
+	d := math.Sqrt(sum) / e.Scale
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// P implements Metric: the E2LSH collision probability at scaled
+// distance x for this metric's bucket width.
+func (e Euclidean) P(x float64) float64 {
+	w := e.EffectiveBucket()
+	if x <= 1e-12 {
+		return 1
+	}
+	r := w / x
+	phi := 0.5 * (1 + math.Erf(-r/math.Sqrt2))
+	return 1 - 2*phi - (2/(math.Sqrt(2*math.Pi)*r))*(1-math.Exp(-r*r/2))
+}
+
+// FieldKind implements Metric.
+func (Euclidean) FieldKind() record.FieldKind { return record.VectorKind }
+
+// Name implements Metric.
+func (e Euclidean) Name() string { return fmt.Sprintf("euclidean(scale=%g)", e.Scale) }
+
+// Hamming is the normalized Hamming distance between binary
+// fingerprints: differing bits / width. Its LSH family is bit sampling
+// (pick a random bit position), which collides with probability 1 - x
+// at normalized distance x — the original LSH family of Indyk and
+// Motwani.
+type Hamming struct{}
+
+// Distance implements Metric. It panics if either field is not a
+// record.Bits or widths differ.
+func (Hamming) Distance(a, b record.Field) float64 {
+	ba, bb := a.(record.Bits), b.(record.Bits)
+	return HammingBits(ba, bb)
+}
+
+// HammingBits returns the normalized Hamming distance between two
+// equal-width fingerprints.
+func HammingBits(a, b record.Bits) float64 {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("distance: hamming over widths %d and %d", a.Width, b.Width))
+	}
+	if a.Width == 0 {
+		return 0
+	}
+	diff := 0
+	for i := range a.Words {
+		diff += popcount(a.Words[i] ^ b.Words[i])
+	}
+	return float64(diff) / float64(a.Width)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// P implements Metric: a random sampled bit agrees with probability
+// 1 - x at normalized Hamming distance x.
+func (Hamming) P(x float64) float64 { return 1 - x }
+
+// FieldKind implements Metric.
+func (Hamming) FieldKind() record.FieldKind { return record.BitsKind }
+
+// Name implements Metric.
+func (Hamming) Name() string { return "hamming" }
+
+// Degrees converts an angle in degrees to the normalized cosine
+// distance used throughout the library.
+func Degrees(deg float64) float64 { return deg / 180 }
+
+// Similarity converts a similarity threshold in [0,1] (e.g. "Jaccard
+// similarity at least 0.4") to the corresponding normalized distance
+// threshold.
+func Similarity(sim float64) float64 { return 1 - sim }

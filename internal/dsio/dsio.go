@@ -1,0 +1,134 @@
+// Package dsio serializes datasets to and from JSON so the command-
+// line tools can exchange them. The format is line-oriented friendly
+// but stored as one document:
+//
+//	{
+//	  "name": "articles",
+//	  "records": [
+//	    {"entity": 3, "fields": [{"set": [123, 456]}]},
+//	    {"entity": -1, "fields": [{"vector": [0.1, 0.9]}]}
+//	  ]
+//	}
+//
+// Every record must have the same field layout. "entity" is the
+// optional ground-truth label (-1 or omitted when unknown).
+package dsio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// jsonField is the wire form of one field: exactly one of Set, Vector
+// or Bits must be present. Bits are encoded as hex words plus a width.
+type jsonField struct {
+	Set    []uint64  `json:"set,omitempty"`
+	Vector []float64 `json:"vector,omitempty"`
+	Bits   []uint64  `json:"bits,omitempty"`
+	Width  int       `json:"width,omitempty"`
+	// isSet disambiguates an empty set from an absent one on encode.
+	isSet bool
+}
+
+func (f jsonField) MarshalJSON() ([]byte, error) {
+	switch {
+	case f.isSet:
+		return json.Marshal(struct {
+			Set []uint64 `json:"set"`
+		}{f.Set})
+	case f.Bits != nil:
+		return json.Marshal(struct {
+			Bits  []uint64 `json:"bits"`
+			Width int      `json:"width"`
+		}{f.Bits, f.Width})
+	default:
+		return json.Marshal(struct {
+			Vector []float64 `json:"vector"`
+		}{f.Vector})
+	}
+}
+
+type jsonRecord struct {
+	Entity *int        `json:"entity,omitempty"`
+	Fields []jsonField `json:"fields"`
+}
+
+type jsonDataset struct {
+	Name    string       `json:"name"`
+	Records []jsonRecord `json:"records"`
+}
+
+// Write serializes the dataset as JSON.
+func Write(w io.Writer, ds *record.Dataset) error {
+	out := jsonDataset{Name: ds.Name, Records: make([]jsonRecord, ds.Len())}
+	for i := range ds.Records {
+		r := &ds.Records[i]
+		jr := jsonRecord{Fields: make([]jsonField, len(r.Fields))}
+		if i < len(ds.Truth) && ds.Truth[i] >= 0 {
+			e := ds.Truth[i]
+			jr.Entity = &e
+		}
+		for fi, f := range r.Fields {
+			switch v := f.(type) {
+			case record.Set:
+				jr.Fields[fi] = jsonField{Set: v, isSet: true}
+			case record.Vector:
+				jr.Fields[fi] = jsonField{Vector: v}
+			case record.Bits:
+				jr.Fields[fi] = jsonField{Bits: v.Words, Width: v.Width}
+			default:
+				return fmt.Errorf("dsio: record %d field %d has unsupported type %T", i, fi, f)
+			}
+		}
+		out.Records[i] = jr
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Read parses a dataset from JSON and validates its layout.
+func Read(r io.Reader) (*record.Dataset, error) {
+	var in jsonDataset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("dsio: decoding dataset: %w", err)
+	}
+	ds := &record.Dataset{Name: in.Name}
+	for i, jr := range in.Records {
+		fields := make([]record.Field, len(jr.Fields))
+		for fi, jf := range jr.Fields {
+			kinds := 0
+			for _, present := range []bool{jf.Set != nil, jf.Vector != nil, jf.Bits != nil} {
+				if present {
+					kinds++
+				}
+			}
+			switch {
+			case kinds > 1:
+				return nil, fmt.Errorf("dsio: record %d field %d mixes field kinds", i, fi)
+			case jf.Vector != nil:
+				fields[fi] = record.Vector(jf.Vector)
+			case jf.Bits != nil:
+				if jf.Width < 1 || jf.Width > 64*len(jf.Bits) {
+					return nil, fmt.Errorf("dsio: record %d field %d has bits width %d for %d words", i, fi, jf.Width, len(jf.Bits))
+				}
+				fields[fi] = record.NewBits(jf.Bits, jf.Width)
+			default:
+				// A "set" key (possibly empty) or nothing: treat as set.
+				fields[fi] = record.NewSet(jf.Set)
+			}
+		}
+		entity := -1
+		if jr.Entity != nil {
+			entity = *jr.Entity
+		}
+		ds.Add(entity, fields...)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

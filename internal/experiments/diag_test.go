@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+)
+
+// TestDiagImagesClosure inspects how the rule's transitive closure
+// relates to ground truth on the image data. Run with -v; it is a
+// diagnostic, not an assertion-heavy test.
+func TestDiagImagesClosure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p := NewProvider(42)
+	for _, deg := range []float64{2, 3, 5} {
+		bench := p.Images("1.05", deg)
+		all := make([]int32, bench.Dataset.Len())
+		for i := range all {
+			all[i] = int32(i)
+		}
+		clusters, _ := core.ApplyPairwise(bench.Dataset, bench.Rule, all)
+		truth := bench.Dataset.TopEntities(10)
+		t.Logf("deg=%g: %d components; top-10 component sizes: %v", deg, len(clusters), sizesOf(clusters, 10))
+		tt := make([]int, 10)
+		for i := range truth {
+			tt[i] = len(truth[i])
+		}
+		t.Logf("deg=%g: truth top-10 sizes: %v", deg, tt)
+		// Purity of the largest component.
+		counts := map[int]int{}
+		for _, r := range clusters[0] {
+			counts[bench.Dataset.Truth[r]]++
+		}
+		best, total := 0, 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+			total += c
+		}
+		t.Logf("deg=%g: largest component: %d records across %d entities (purity %.2f)", deg, total, len(counts), float64(best)/float64(total))
+	}
+}
+
+// TestDiagImagesAdaLSH compares adaLSH's image output with the exact
+// closure at 3 degrees.
+func TestDiagImagesAdaLSH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	p := NewProvider(42)
+	bench := p.Images("1.05", 3)
+	res, err := p.RunAdaLSH(bench, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	for _, c := range res.Clusters {
+		counts := map[int]int{}
+		for _, r := range c.Records {
+			counts[bench.Dataset.Truth[r]]++
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		sizes = append(sizes, c.Size())
+		t.Logf("cluster size=%d level=%d byP=%v entities=%d purity=%.2f",
+			c.Size(), c.Level, c.ByPairwise, len(counts), float64(best)/float64(c.Size()))
+	}
+	t.Logf("stats: %+v", res.Stats)
+}
+
+func sizesOf(clusters [][]int32, n int) []int {
+	if n > len(clusters) {
+		n = len(clusters)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = len(clusters[i])
+	}
+	return out
+}

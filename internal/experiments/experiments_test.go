@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:      "figX",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+	}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("x", "y")
+	tab.Notes = append(tab.Notes, "a note")
+	s := tab.String()
+	for _, want := range []string{"figX", "demo", "2.500", "a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("text rendering missing %q:\n%s", want, s)
+		}
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### figX", "| a | b |", "| 1 | 2.500 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown rendering missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := Figures()
+	if len(ids) < 15 {
+		t.Fatalf("only %d figures registered", len(ids))
+	}
+	for _, id := range ids {
+		if Describe(id) == "" {
+			t.Errorf("figure %s has no description", id)
+		}
+	}
+	p := NewProvider(1)
+	if _, err := Run(p, "nope", true); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	p := NewProvider(1)
+	tables, err := Run(p, "fig7", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || len(tables[0].Rows) != 4 {
+		t.Fatalf("fig7 shape: %d tables, %d rows", len(tables), len(tables[0].Rows))
+	}
+	// The selected scheme's row must be feasible.
+	last := tables[0].Rows[len(tables[0].Rows)-1]
+	if last[len(last)-1] != "true" {
+		t.Errorf("selected scheme infeasible: %v", last)
+	}
+}
+
+// TestAccuracyFiguresQuick smoke-runs the accuracy-oriented figure
+// runners in quick mode and sanity-checks the monotone trends the
+// paper reports.
+func TestAccuracyFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second figure runs")
+	}
+	p := NewProvider(42)
+
+	// Fig 11: recall rises with k-hat, precision falls.
+	tabs, err := Run(p, "fig11", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, pre := tabs[0], tabs[1]
+	first, last := rec.Rows[0], rec.Rows[len(rec.Rows)-1]
+	if parseF(t, last[2]) < parseF(t, first[2]) {
+		t.Errorf("recall did not rise with k-hat: %v -> %v", first[2], last[2])
+	}
+	pf, pl := pre.Rows[0], pre.Rows[len(pre.Rows)-1]
+	if parseF(t, pl[2]) > parseF(t, pf[2]) {
+		t.Errorf("precision did not fall with k-hat: %v -> %v", pf[2], pl[2])
+	}
+
+	// Fig 13: mAP rises with k-hat for each k.
+	tabs, err = Run(p, "fig13", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := tabs[0]
+	if parseF(t, ap.Rows[len(ap.Rows)-1][1]) < parseF(t, ap.Rows[0][1]) {
+		t.Errorf("mAP did not rise with k-hat")
+	}
+
+	// Fig 14: mAP with recovery reaches (near) 1 at large k-hat.
+	tabs, err = Run(p, "fig14", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apRec := tabs[1]
+	lastRow := apRec.Rows[len(apRec.Rows)-1]
+	if v := parseF(t, lastRow[1]); v < 0.95 {
+		t.Errorf("mAP with recovery = %v at the largest k-hat, want ~1", v)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(s, "%f", &v); err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestProviderCaching verifies datasets and plans are built once.
+func TestProviderCaching(t *testing.T) {
+	p := NewProvider(3)
+	a := p.SpotSigs(1, 0.4)
+	b := p.SpotSigs(1, 0.5)
+	if a.Dataset != b.Dataset {
+		t.Error("same-scale SpotSigs datasets not shared across thresholds")
+	}
+	c := p.Cora(1)
+	d := p.Cora(1)
+	if c.Dataset != d.Dataset {
+		t.Error("Cora dataset rebuilt")
+	}
+	pl1, err := p.Plan(c, defaultSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, err := p.Plan(d, defaultSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl1 != pl2 {
+		t.Error("plan rebuilt for identical config")
+	}
+	if p.CostP(c) != p.CostP(d) {
+		t.Error("costP re-measured")
+	}
+}
+
+// TestMethodsAgreeOnCora is the headline accuracy claim: adaLSH gives
+// the same outcome as Pairs (F1 Target ~ 1) on the Cora workload.
+func TestMethodsAgreeOnCora(t *testing.T) {
+	p := NewProvider(5)
+	bench := p.Cora(1)
+	ada, err := p.RunAdaLSH(bench, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := p.RunPairs(bench, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ada.Output) != len(pairs.Output) {
+		t.Fatalf("adaLSH kept %d records, Pairs %d", len(ada.Output), len(pairs.Output))
+	}
+	for i := range pairs.Output {
+		if ada.Output[i] != pairs.Output[i] {
+			t.Fatalf("outputs differ at %d", i)
+		}
+	}
+}
+
+func defaultSeq() core.SequenceConfig { return core.SequenceConfig{} }

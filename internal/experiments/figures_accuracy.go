@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/topk-er/adalsh/internal/metrics"
+)
+
+// khatsFor returns the k-hat sweep of Section 7.3.
+func khatsFor(quick bool) []int {
+	if quick {
+		return []int{5, 20}
+	}
+	return []int{5, 10, 15, 20}
+}
+
+// Fig11 reproduces Figure 11: Recall Gold and Precision Gold on
+// SpotSigs for k = 5 as the number of returned clusters k-hat grows,
+// for similarity thresholds 0.3, 0.4 and 0.5.
+func Fig11(p *Provider, quick bool) ([]*Table, error) {
+	thresholds := []float64{0.3, 0.4, 0.5}
+	const k = 5
+	tRec := &Table{ID: "fig11a", Title: "Recall Gold vs k-hat on SpotSigs, k=5",
+		Columns: []string{"k-hat", "thres0.3", "thres0.4", "thres0.5"}}
+	tPre := &Table{ID: "fig11b", Title: "Precision Gold vs k-hat on SpotSigs, k=5",
+		Columns: []string{"k-hat", "thres0.3", "thres0.4", "thres0.5"}}
+	for _, khat := range khatsFor(quick) {
+		rec := []any{khat}
+		pre := []any{khat}
+		for _, thr := range thresholds {
+			bench := p.SpotSigs(1, thr)
+			res, err := p.RunAdaLSH(bench, k, khat)
+			if err != nil {
+				return nil, err
+			}
+			g := metrics.Gold(bench.Dataset, res.Output, k)
+			rec = append(rec, g.Recall)
+			pre = append(pre, g.Precision)
+		}
+		tRec.AddRow(rec...)
+		tPre.AddRow(pre...)
+	}
+	return []*Table{tRec, tPre}, nil
+}
+
+// Fig12 reproduces Figure 12: dataset reduction percentage and Speedup
+// w/o Recovery on SpotSigs 1x/2x/4x for k = 5 as k-hat grows, with the
+// actual top-k record percentage as reference.
+func Fig12(p *Provider, quick bool) ([]*Table, error) {
+	scales := []int{1, 2, 4}
+	if quick {
+		scales = []int{1, 2}
+	}
+	const k = 5
+	cols := []string{"k-hat"}
+	for _, s := range scales {
+		cols = append(cols, fmt.Sprintf("%dx", s))
+	}
+	tRed := &Table{ID: "fig12a", Title: "Dataset reduction % vs k-hat on SpotSigs, k=5", Columns: cols}
+	tSp := &Table{ID: "fig12b", Title: "Speedup w/o Recovery vs k-hat on SpotSigs (adaLSH filtering), k=5", Columns: cols}
+	for _, scale := range scales {
+		bench := p.SpotSigs(scale, 0.4)
+		actual := 100 * float64(len(bench.Dataset.TopKRecords(k))) / float64(bench.Dataset.Len())
+		tRed.Notes = append(tRed.Notes, fmt.Sprintf("Actual%dx: top-%d entities hold %.1f%% of records", scale, k, actual))
+	}
+	for _, khat := range khatsFor(quick) {
+		red := []any{khat}
+		sp := []any{khat}
+		for _, scale := range scales {
+			bench := p.SpotSigs(scale, 0.4)
+			res, err := p.RunAdaLSH(bench, k, khat)
+			if err != nil {
+				return nil, err
+			}
+			red = append(red, fmt.Sprintf("%.1f%%", metrics.Reduction(bench.Dataset, res.Output)))
+			in := metrics.SpeedupInput{
+				DatasetSize:   bench.Dataset.Len(),
+				OutputSize:    len(res.Output),
+				FilteringTime: res.Stats.Elapsed,
+				CostP:         p.CostP(bench),
+			}
+			sp = append(sp, fmt.Sprintf("%.1fx", in.SpeedupWithoutRecovery()))
+		}
+		tRed.AddRow(red...)
+		tSp.AddRow(sp...)
+	}
+	return []*Table{tRed, tSp}, nil
+}
+
+// Fig13 reproduces Figure 13: mAP and mAR on SpotSigs as k-hat grows,
+// one curve per k in {2, 5, 10, 20}. Per Section 6.2, the ranked
+// clusters evaluated are the outcome of a "perfect" ER algorithm on
+// the filtering output (the output partitioned by true entity).
+func Fig13(p *Provider, quick bool) ([]*Table, error) {
+	ks := ksFor(quick)
+	khats := []int{5, 10, 15, 20, 25, 30}
+	if quick {
+		khats = []int{5, 15, 30}
+	}
+	cols := []string{"k-hat"}
+	for _, k := range ks {
+		cols = append(cols, fmt.Sprintf("k=%d", k))
+	}
+	tAP := &Table{ID: "fig13a", Title: "mean Average Precision vs k-hat on SpotSigs", Columns: cols}
+	tAR := &Table{ID: "fig13b", Title: "mean Average Recall vs k-hat on SpotSigs", Columns: cols}
+	bench := p.SpotSigs(1, 0.4)
+	for _, khat := range khats {
+		ap := []any{khat}
+		ar := []any{khat}
+		for _, k := range ks {
+			if khat < k {
+				ap = append(ap, "-")
+				ar = append(ar, "-")
+				continue
+			}
+			res, err := p.RunAdaLSH(bench, k, khat)
+			if err != nil {
+				return nil, err
+			}
+			mAP, mAR := metrics.MAPR(bench.Dataset, metrics.PerfectER(bench.Dataset, res.Output), k)
+			ap = append(ap, mAP)
+			ar = append(ar, mAR)
+		}
+		tAP.AddRow(ap...)
+		tAR.AddRow(ar...)
+	}
+	return []*Table{tAP, tAR}, nil
+}
+
+// Fig14 reproduces Figure 14: Speedup with Recovery (panel a, SpotSigs
+// 1x/2x/4x, k=5) and mAP with Recovery (panel b, one curve per k).
+func Fig14(p *Provider, quick bool) ([]*Table, error) {
+	scales := []int{1, 2, 4}
+	if quick {
+		scales = []int{1, 2}
+	}
+	const k5 = 5
+	colsA := []string{"k-hat"}
+	for _, s := range scales {
+		colsA = append(colsA, fmt.Sprintf("%dx", s))
+	}
+	tSp := &Table{ID: "fig14a", Title: "Speedup with Recovery vs k-hat on SpotSigs, k=5", Columns: colsA}
+	for _, khat := range khatsFor(quick) {
+		row := []any{khat}
+		for _, scale := range scales {
+			bench := p.SpotSigs(scale, 0.4)
+			res, err := p.RunAdaLSH(bench, k5, khat)
+			if err != nil {
+				return nil, err
+			}
+			in := metrics.SpeedupInput{
+				DatasetSize:   bench.Dataset.Len(),
+				OutputSize:    len(res.Output),
+				FilteringTime: res.Stats.Elapsed,
+				CostP:         p.CostP(bench),
+			}
+			row = append(row, fmt.Sprintf("%.1fx", in.SpeedupWithRecovery()))
+		}
+		tSp.AddRow(row...)
+	}
+
+	ks := ksFor(quick)
+	colsB := []string{"k-hat"}
+	for _, k := range ks {
+		colsB = append(colsB, fmt.Sprintf("k=%d", k))
+	}
+	tAP := &Table{ID: "fig14b", Title: "mAP with Recovery vs k-hat on SpotSigs", Columns: colsB}
+	bench := p.SpotSigs(1, 0.4)
+	for _, khat := range khatsFor(quick) {
+		row := []any{khat}
+		for _, k := range ks {
+			if khat < k {
+				row = append(row, "-")
+				continue
+			}
+			res, err := p.RunAdaLSH(bench, k, khat)
+			if err != nil {
+				return nil, err
+			}
+			clusters := make([][]int32, len(res.Clusters))
+			for i := range res.Clusters {
+				clusters[i] = res.Clusters[i].Records
+			}
+			recovered := metrics.RecoveredClusters(bench.Dataset, clusters)
+			mAP, _ := metrics.MAPR(bench.Dataset, recovered, k)
+			row = append(row, mAP)
+		}
+		tAP.AddRow(row...)
+	}
+	return []*Table{tSp, tAP}, nil
+}

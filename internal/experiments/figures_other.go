@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/metrics"
+)
+
+// Fig15 reproduces Figure 15: adaLSH against the whole LSH-X family
+// (X from 20 to 5120) on SpotSigs (panel a) and SpotSigs8x (panel b),
+// k = 10.
+func Fig15(p *Provider, quick bool) ([]*Table, error) {
+	xs := []int{20, 80, 320, 1280, 5120}
+	scales := []int{1, 8}
+	if quick {
+		xs = []int{20, 320, 1280}
+		scales = []int{1, 2}
+	}
+	const k = 10
+	var out []*Table
+	for i, scale := range scales {
+		bench := p.SpotSigs(scale, 0.4)
+		t := &Table{
+			ID:      fmt.Sprintf("fig15%c", 'a'+i),
+			Title:   fmt.Sprintf("adaLSH vs LSH variations on %s, k=%d", bench.Dataset.Name, k),
+			Columns: []string{"method", "time", "F1 Gold"},
+		}
+		ada, err := p.RunAdaLSH(bench, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("adaLSH", ada.Stats.Elapsed, metrics.Gold(bench.Dataset, ada.Output, k).F1)
+		for _, x := range xs {
+			res, err := p.RunLSHX(bench, x, k, 0, false)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("LSH%d", x), res.Stats.Elapsed, metrics.Gold(bench.Dataset, res.Output, k).F1)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig16 reproduces Figure 16: execution time on the PopularImages
+// datasets (Zipf exponents 1.05, 1.1, 1.2) for cosine thresholds of 3
+// and 5 degrees, k = 10, comparing adaLSH with LSH320 and LSH2560.
+func Fig16(p *Provider, quick bool) ([]*Table, error) {
+	exps := []string{"1.05", "1.1", "1.2"}
+	if quick {
+		exps = []string{"1.05"}
+	}
+	var out []*Table
+	const k = 10
+	for i, deg := range []float64{3, 5} {
+		t := &Table{
+			ID:      fmt.Sprintf("fig16%c", 'a'+i),
+			Title:   fmt.Sprintf("execution time on PopularImages, d_thr=%gdeg, k=%d", deg, k),
+			Columns: []string{"zipf exponent", "adaLSH", "LSH320", "LSH2560"},
+		}
+		for _, exp := range exps {
+			bench := p.Images(exp, deg)
+			ada, err := p.RunAdaLSH(bench, k, 0)
+			if err != nil {
+				return nil, err
+			}
+			l320, err := p.RunLSHX(bench, 320, k, 0, false)
+			if err != nil {
+				return nil, err
+			}
+			l2560, err := p.RunLSHX(bench, 2560, k, 0, false)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(exp, ada.Stats.Elapsed, l320.Stats.Elapsed, l2560.Stats.Elapsed)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig17 reproduces Figure 17: F1 Gold on PopularImages for thresholds
+// of 2, 3 and 5 degrees across the Zipf exponents, k = 10 (adaLSH; the
+// paper notes all methods give almost the same F1 here).
+func Fig17(p *Provider, quick bool) ([]*Table, error) {
+	exps := []string{"1.05", "1.1", "1.2"}
+	if quick {
+		exps = []string{"1.05"}
+	}
+	const k = 10
+	t := &Table{
+		ID:      "fig17",
+		Title:   fmt.Sprintf("F1 Gold on PopularImages, k=%d", k),
+		Columns: []string{"zipf exponent", "2degrees", "3degrees", "5degrees"},
+	}
+	for _, exp := range exps {
+		row := []any{exp}
+		for _, deg := range []float64{2, 3, 5} {
+			bench := p.Images(exp, deg)
+			res, err := p.RunAdaLSH(bench, k, 0)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, metrics.Gold(bench.Dataset, res.Output, k).F1)
+		}
+		t.AddRow(row...)
+	}
+	return []*Table{t}, nil
+}
+
+// Fig20 reproduces Appendix E.1's Figure 20: the nP variations. Panel
+// a: execution time of adaLSH, LSH20, LSH640, LSH20nP, LSH640nP across
+// SpotSigs sizes, k = 10. Panel b: F1 Target (against the Pairs
+// outcome) of the same methods.
+func Fig20(p *Provider, quick bool) ([]*Table, error) {
+	scales := scalesFor(quick)
+	const k = 10
+	methods := []struct {
+		name  string
+		x     int
+		skipP bool
+	}{
+		{"LSH20", 20, false},
+		{"LSH640", 640, false},
+		{"LSH20nP", 20, true},
+		{"LSH640nP", 640, true},
+	}
+	cols := []string{"records", "adaLSH"}
+	for _, m := range methods {
+		cols = append(cols, m.name)
+	}
+	tTime := &Table{ID: "fig20a", Title: "nP variations: execution time on SpotSigs, k=10", Columns: cols}
+	tF1 := &Table{ID: "fig20b", Title: "nP variations: F1 Target on SpotSigs, k=10", Columns: cols}
+	for _, scale := range scales {
+		bench := p.SpotSigs(scale, 0.4)
+		pairs, err := p.RunPairs(bench, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		ada, err := p.RunAdaLSH(bench, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		timeRow := []any{bench.Dataset.Len(), ada.Stats.Elapsed}
+		f1Row := []any{bench.Dataset.Len(), metrics.Target(ada.Output, pairs.Output).F1}
+		for _, m := range methods {
+			res, err := p.RunLSHX(bench, m.x, k, 0, m.skipP)
+			if err != nil {
+				return nil, err
+			}
+			timeRow = append(timeRow, res.Stats.Elapsed)
+			f1Row = append(f1Row, metrics.Target(res.Output, pairs.Output).F1)
+		}
+		tTime.AddRow(timeRow...)
+		tF1.AddRow(f1Row...)
+	}
+	return []*Table{tTime, tF1}, nil
+}
+
+// Fig21 reproduces Appendix E.2's Figure 21: sensitivity of adaLSH to
+// cost-model noise. The cost of applying P inside the jump-ahead
+// decision is multiplied by nf in {1/5, 1/2, 1, 2, 5}; panels for k=2
+// and k=10 across SpotSigs sizes.
+func Fig21(p *Provider, quick bool) ([]*Table, error) {
+	scales := scalesFor(quick)
+	noises := []struct {
+		label string
+		nf    float64
+	}{
+		{"clean", 0}, {"1/2", 0.5}, {"2/1", 2}, {"1/5", 0.2}, {"5/1", 5},
+	}
+	cols := []string{"records"}
+	for _, n := range noises {
+		cols = append(cols, n.label)
+	}
+	var out []*Table
+	for i, k := range []int{2, 10} {
+		t := &Table{
+			ID:      fmt.Sprintf("fig21%c", 'a'+i),
+			Title:   fmt.Sprintf("cost-model noise: adaLSH time on SpotSigs, k=%d", k),
+			Columns: cols,
+		}
+		for _, scale := range scales {
+			bench := p.SpotSigs(scale, 0.4)
+			row := []any{bench.Dataset.Len()}
+			for _, n := range noises {
+				res, err := p.RunAdaLSHConfig(bench, k, 0, core.SequenceConfig{}, n.nf)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, res.Stats.Elapsed)
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Fig22 reproduces Appendix E.2's Figure 22: budget-selection modes.
+// The default Exponential mode (20, 40, 80, ...) against Linear modes
+// with steps 320, 640 and 1280, on Cora and SpotSigs sizes, k = 10.
+func Fig22(p *Provider, quick bool) ([]*Table, error) {
+	scales := scalesFor(quick)
+	modes := []struct {
+		label string
+		cfg   core.SequenceConfig
+	}{
+		{"expo", core.SequenceConfig{}},
+		{"lin320", core.SequenceConfig{InitialBudget: 320, Mode: core.Linear, Step: 320}},
+		{"lin640", core.SequenceConfig{InitialBudget: 640, Mode: core.Linear, Step: 640}},
+		{"lin1280", core.SequenceConfig{InitialBudget: 1280, Mode: core.Linear, Step: 1280, Levels: 4}},
+	}
+	cols := []string{"records"}
+	for _, m := range modes {
+		cols = append(cols, m.label)
+	}
+	const k = 10
+	var out []*Table
+	for i, name := range []string{"Cora", "SpotSigs"} {
+		t := &Table{
+			ID:      fmt.Sprintf("fig22%c", 'a'+i),
+			Title:   fmt.Sprintf("budget selection modes: adaLSH time on %s, k=%d", name, k),
+			Columns: cols,
+		}
+		for _, scale := range scales {
+			bench := p.Cora(scale)
+			if name == "SpotSigs" {
+				bench = p.SpotSigs(scale, 0.4)
+			}
+			row := []any{bench.Dataset.Len()}
+			for _, m := range modes {
+				res, err := p.RunAdaLSHConfig(bench, k, 0, m.cfg, 0)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, res.Stats.Elapsed)
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one paper figure (possibly both panels) as tables.
+type Runner func(p *Provider, quick bool) ([]*Table, error)
+
+// registry maps figure IDs to runners, with an ordering key for stable
+// "run everything" output.
+var registry = []struct {
+	ID     string
+	Desc   string
+	Run    Runner
+	Images bool // needs the (slower) image datasets
+}{
+	{"fig7", "(w,z)-scheme selection example (Figures 5 and 7)", Fig7, false},
+	{"fig8a", "execution time vs k on Cora + Figure 10(a) F1", Fig8Fig10a, false},
+	{"fig8b", "execution time vs Cora size", Fig8b, false},
+	{"fig9a", "execution time vs k on SpotSigs + Figure 10(b) F1", Fig9Fig10b, false},
+	{"fig9b", "execution time vs SpotSigs size", Fig9b, false},
+	{"fig11", "precision/recall vs k-hat, thresholds 0.3/0.4/0.5", Fig11, false},
+	{"fig12", "dataset reduction and speedup w/o recovery", Fig12, false},
+	{"fig13", "mAP and mAR vs k-hat", Fig13, false},
+	{"fig14", "speedup and mAP with recovery", Fig14, false},
+	{"fig15", "adaLSH vs the LSH-X family", Fig15, false},
+	{"fig16", "execution time on PopularImages (3 and 5 degrees)", Fig16, true},
+	{"fig17", "F1 Gold on PopularImages (2/3/5 degrees)", Fig17, true},
+	{"fig20", "nP variations: time and F1 Target (Appendix E.1)", Fig20, false},
+	{"fig21", "cost-model noise sensitivity (Appendix E.2)", Fig21, false},
+	{"fig22", "budget-selection modes (Appendix E.2)", Fig22, false},
+	{"ext-ablation", "design-choice ablations (extension)", ExtAblation, false},
+	{"ext-stream", "streaming top-k amortization (extension)", ExtStream, false},
+}
+
+// Figures lists the available figure IDs in run order.
+func Figures() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Describe returns the one-line description of a figure ID.
+func Describe(id string) string {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Desc
+		}
+	}
+	return ""
+}
+
+// Run regenerates one figure by ID.
+func Run(p *Provider, id string, quick bool) ([]*Table, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Run(p, quick)
+		}
+	}
+	known := Figures()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown figure %q (known: %v)", id, known)
+}
+
+// RunAll regenerates every figure. When skipImages is set the image
+// figures (the slowest to generate) are left out.
+func RunAll(p *Provider, quick, skipImages bool) ([]*Table, error) {
+	var out []*Table
+	for _, e := range registry {
+		if skipImages && e.Images {
+			continue
+		}
+		ts, err := e.Run(p, quick)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}

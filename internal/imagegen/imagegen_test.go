@@ -1,0 +1,135 @@
+package imagegen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+func TestHistogramNormalized(t *testing.T) {
+	im := NewBase(5)
+	h := Histogram(im)
+	if len(h) != HistBins*HistBins*HistBins {
+		t.Fatalf("dim = %d", len(h))
+	}
+	sum := 0.0
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative bin mass")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("histogram mass = %v, want 1 (trilinear binning conserves mass)", sum)
+	}
+}
+
+func TestBaseDeterministic(t *testing.T) {
+	a, b := NewBase(42), NewBase(42)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same-seed bases differ")
+		}
+	}
+}
+
+func TestPixelRange(t *testing.T) {
+	im := NewBase(7)
+	for _, v := range im.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+	tr := RandomTransform(xhash.NewRNG(3))
+	out := tr.Apply(im)
+	for _, v := range out.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("transformed pixel %v outside [0,1]", v)
+		}
+	}
+}
+
+func TestTransformWindowInBounds(t *testing.T) {
+	rng := xhash.NewRNG(9)
+	for i := 0; i < 500; i++ {
+		tr := RandomTransform(rng)
+		if tr.X0 < 0 || tr.Y0 < 0 || tr.X0+tr.W > Size || tr.Y0+tr.H > Size {
+			t.Fatalf("window out of bounds: %+v", tr)
+		}
+		if tr.W < Size/2 || tr.H < Size/2 {
+			t.Fatalf("window too small: %+v", tr)
+		}
+	}
+}
+
+func TestTransformDeterministic(t *testing.T) {
+	base := NewBase(11)
+	tr := RandomTransform(xhash.NewRNG(4))
+	a, b := tr.Apply(base), tr.Apply(base)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same transform, different output")
+		}
+	}
+}
+
+func TestTransformStaysClose(t *testing.T) {
+	base := NewBase(21)
+	h0 := Histogram(base)
+	rng := xhash.NewRNG(8)
+	within := 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		tr := RandomTransform(rng)
+		h := Histogram(tr.Apply(base))
+		if distance.CosineVec(h0, h)*180 < 5 {
+			within++
+		}
+	}
+	if within < trials*3/4 {
+		t.Errorf("only %d/%d transforms within 5 degrees of the base", within, trials)
+	}
+}
+
+// TestThemeMateDistances reports the histogram angle between bases of
+// the same theme (mates) and across themes. Mates should be close
+// enough to collide under LSH schemes tuned for 2-5 degree thresholds
+// (the paper's "similar histogram, different entity" pairs) but far
+// enough (> ~6 degrees) that the exact closure never merges them.
+func TestThemeMateDistances(t *testing.T) {
+	const themes = 40
+	bases := NewThemedBases(2*themes, 2, 99)
+	hists := make([]distance.Cosine, 0)
+	_ = hists
+	var mates, cross []float64
+	hist := make([][]float64, len(bases))
+	for i, b := range bases {
+		hist[i] = Histogram(b)
+	}
+	for i := 0; i < len(bases); i += 2 {
+		mates = append(mates, 180*distance.CosineVec(hist[i], hist[i+1]))
+	}
+	for i := 0; i < len(bases); i += 2 {
+		for j := i + 2; j < len(bases); j += 2 {
+			cross = append(cross, 180*distance.CosineVec(hist[i], hist[j]))
+		}
+	}
+	sort.Float64s(mates)
+	sort.Float64s(cross)
+	t.Logf("mates: min=%.1f p25=%.1f p50=%.1f p90=%.1f", mates[0], mates[len(mates)/4], mates[len(mates)/2], mates[len(mates)*9/10])
+	t.Logf("cross: min=%.1f p05=%.1f p50=%.1f", cross[0], cross[len(cross)/20], cross[len(cross)/2])
+	// Mates must stay above ~25 degrees: below that, the sharpest
+	// in-budget LSH scheme still collides big entity pairs often
+	// enough that transitive closure glues them (see DESIGN.md). They
+	// must stay below ~65 degrees so the early, cheap functions keep
+	// colliding them — the pressure that makes the dataset hard.
+	if mates[0] < 25 {
+		t.Errorf("theme mates as close as %.1f degrees; the final hashing function would glue large entities", mates[0])
+	}
+	if mates[len(mates)/2] > 65 {
+		t.Errorf("median mate distance %.1f degrees; themes too weak to create near-histogram pairs", mates[len(mates)/2])
+	}
+}

@@ -1,0 +1,61 @@
+package lshfamily
+
+import (
+	"math"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+func bitsRecord(width int, setBits ...int) *record.Record {
+	words := make([]uint64, (width+63)/64)
+	for _, b := range setBits {
+		words[b/64] |= 1 << (b % 64)
+	}
+	return &record.Record{Fields: []record.Field{record.NewBits(words, width)}}
+}
+
+func TestBitSampleCollisionProbability(t *testing.T) {
+	const width, n = 256, 8000
+	h := NewBitSample(0, width, n, 7)
+	// b differs from a on 64 of 256 bits: normalized distance 0.25.
+	a := bitsRecord(width)
+	diffs := make([]int, 64)
+	for i := range diffs {
+		diffs[i] = i * 4
+	}
+	b := bitsRecord(width, diffs...)
+	got := collisionRate(h, a, b, n)
+	if math.Abs(got-0.75) > 0.02 {
+		t.Errorf("collision rate %.3f, want ~0.75", got)
+	}
+	if collisionRate(h, a, a, 200) != 1 {
+		t.Error("identical fingerprints must collide")
+	}
+}
+
+func TestBitSampleWidthMismatchPanics(t *testing.T) {
+	h := NewBitSample(0, 128, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on width mismatch")
+		}
+	}()
+	h.Hash(0, bitsRecord(64))
+}
+
+func TestBitSampleDeterministic(t *testing.T) {
+	a := NewBitSample(0, 100, 50, 3)
+	b := NewBitSample(0, 100, 50, 3)
+	r := bitsRecord(100, 1, 17, 63, 64, 99)
+	for fn := 0; fn < 50; fn++ {
+		if a.Hash(fn, r) != b.Hash(fn, r) {
+			t.Fatalf("same-seed samplers disagree at fn %d", fn)
+		}
+	}
+	if a.Name() == "" {
+		t.Error("empty name")
+	}
+	_ = xhash.SplitMix64 // keep import-consistent with sibling tests
+}

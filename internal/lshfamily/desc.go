@@ -1,0 +1,78 @@
+package lshfamily
+
+import "fmt"
+
+// Desc is a serializable description of a hasher: everything needed to
+// rebuild it deterministically (family kind, target field, geometry,
+// function count and seed). Plans persist Descs rather than the
+// generated hyperplanes/seeds themselves.
+type Desc struct {
+	// Kind is "hyperplane", "minhash", "bitsample" or "wmix".
+	Kind string `json:"kind"`
+	// Field is the record field index (unused for wmix).
+	Field int `json:"field"`
+	// Dim is the vector dimension (hyperplane only).
+	Dim int `json:"dim,omitempty"`
+	// Width is the fingerprint width (bitsample only).
+	Width int `json:"width,omitempty"`
+	// MaxFuncs is the number of pre-generated base functions.
+	MaxFuncs int `json:"max_funcs"`
+	// Seed drives the deterministic generation.
+	Seed uint64 `json:"seed"`
+	// Scale and BucketFraction parameterize p-stable projections
+	// (pstable only).
+	Scale          float64 `json:"scale,omitempty"`
+	BucketFraction float64 `json:"bucket_fraction,omitempty"`
+	// Weights and Subs describe a weighted mix (wmix only).
+	Weights []float64 `json:"weights,omitempty"`
+	Subs    []Desc    `json:"subs,omitempty"`
+}
+
+// Kinds for Desc.Kind.
+const (
+	KindHyperplane  = "hyperplane"
+	KindMinHash     = "minhash"
+	KindBitSample   = "bitsample"
+	KindPStable     = "pstable"
+	KindWeightedMix = "wmix"
+)
+
+// Build reconstructs the hasher the description denotes.
+func (d Desc) Build() (Hasher, error) {
+	if d.MaxFuncs < 1 {
+		return nil, fmt.Errorf("lshfamily: desc %q has max_funcs %d", d.Kind, d.MaxFuncs)
+	}
+	switch d.Kind {
+	case KindHyperplane:
+		if d.Dim < 1 {
+			return nil, fmt.Errorf("lshfamily: hyperplane desc has dim %d", d.Dim)
+		}
+		return NewHyperplane(d.Field, d.Dim, d.MaxFuncs, d.Seed), nil
+	case KindMinHash:
+		return NewMinHash(d.Field, d.MaxFuncs, d.Seed), nil
+	case KindBitSample:
+		if d.Width < 1 {
+			return nil, fmt.Errorf("lshfamily: bitsample desc has width %d", d.Width)
+		}
+		return NewBitSample(d.Field, d.Width, d.MaxFuncs, d.Seed), nil
+	case KindPStable:
+		if d.Dim < 1 || d.Scale <= 0 || d.BucketFraction <= 0 {
+			return nil, fmt.Errorf("lshfamily: pstable desc has dim %d, scale %g, bucket %g", d.Dim, d.Scale, d.BucketFraction)
+		}
+		return NewPStable(d.Field, d.Dim, d.MaxFuncs, d.Scale, d.BucketFraction, d.Seed), nil
+	case KindWeightedMix:
+		if len(d.Subs) == 0 || len(d.Subs) != len(d.Weights) {
+			return nil, fmt.Errorf("lshfamily: wmix desc has %d subs and %d weights", len(d.Subs), len(d.Weights))
+		}
+		subs := make([]Hasher, len(d.Subs))
+		for i, sd := range d.Subs {
+			sub, err := sd.Build()
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = sub
+		}
+		return NewWeightedMix(subs, d.Weights, d.MaxFuncs, d.Seed), nil
+	}
+	return nil, fmt.Errorf("lshfamily: unknown hasher kind %q", d.Kind)
+}

@@ -1,0 +1,255 @@
+// Package lshfamily implements the locality-sensitive hash families of
+// the paper's Appendix A — random hyperplanes for the cosine distance
+// and MinHash for the Jaccard distance — together with the
+// weighted-average function selection of Definition 7 and the
+// probability algebra of the AND/OR constructions (Definitions 5, 6).
+//
+// A Hasher exposes an indexed sequence of base hash functions over
+// whole records. Indexing (rather than drawing) the functions is what
+// makes the paper's incremental-computation property (Section 2.2,
+// property 4) possible: a transitive hashing function later in the
+// sequence reuses the hash values its predecessors already computed,
+// because both address the same underlying function sequence.
+package lshfamily
+
+import (
+	"fmt"
+
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// Hasher is an indexed family of base LSH functions over records.
+// Implementations pre-generate MaxFunctions functions deterministically
+// from a seed, so Hash(fn, r) is pure.
+type Hasher interface {
+	// Hash applies base function fn (0 <= fn < MaxFunctions) to record r.
+	Hash(fn int, r *record.Record) uint64
+	// P returns the collision probability of one randomly selected base
+	// function for a pair at normalized distance x under the metric (or
+	// rule) this hasher targets.
+	P(x float64) float64
+	// MaxFunctions reports how many base functions are available.
+	MaxFunctions() int
+	// Name identifies the hasher in reports and cost tables.
+	Name() string
+}
+
+// Hyperplane is the random-hyperplanes family for the cosine distance
+// (paper Example 2 / Example 6): function fn hashes a vector to 0 or 1
+// according to the side of a random hyperplane through the origin the
+// vector lies on. The family is (theta1, theta2, 1-theta1/180,
+// 1-theta2/180)-sensitive, i.e. p(x) = 1 - x at normalized angle x.
+type Hyperplane struct {
+	field  int
+	dim    int
+	planes [][]float64
+}
+
+// NewHyperplane pre-generates maxFuncs random hyperplanes of the given
+// dimension for record field `field`, deterministically from seed.
+func NewHyperplane(field, dim, maxFuncs int, seed uint64) *Hyperplane {
+	rng := xhash.NewRNG(seed)
+	planes := make([][]float64, maxFuncs)
+	flat := make([]float64, maxFuncs*dim)
+	for i := range planes {
+		planes[i], flat = flat[:dim], flat[dim:]
+		for d := 0; d < dim; d++ {
+			planes[i][d] = rng.NormFloat64()
+		}
+	}
+	return &Hyperplane{field: field, dim: dim, planes: planes}
+}
+
+// Hash implements Hasher: the sign bit of the dot product with
+// hyperplane fn.
+func (h *Hyperplane) Hash(fn int, r *record.Record) uint64 {
+	v := r.Fields[h.field].(record.Vector)
+	if len(v) != h.dim {
+		panic(fmt.Sprintf("lshfamily: hyperplane dim %d applied to vector of dim %d", h.dim, len(v)))
+	}
+	plane := h.planes[fn]
+	var dot float64
+	for d, x := range v {
+		dot += x * plane[d]
+	}
+	if dot >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// P implements Hasher.
+func (h *Hyperplane) P(x float64) float64 { return 1 - x }
+
+// MaxFunctions implements Hasher.
+func (h *Hyperplane) MaxFunctions() int { return len(h.planes) }
+
+// Name implements Hasher.
+func (h *Hyperplane) Name() string {
+	return fmt.Sprintf("hyperplane(f%d,dim=%d)", h.field, h.dim)
+}
+
+// MinHash is the min-wise hashing family for the Jaccard distance:
+// function fn maps a set to the minimum of a seeded 64-bit hash over
+// its elements. Two sets collide under one function with probability
+// equal to their Jaccard similarity, i.e. p(x) = 1 - x.
+type MinHash struct {
+	field int
+	seeds []uint64
+}
+
+// NewMinHash pre-generates maxFuncs element-hash seeds for record field
+// `field`, deterministically from seed.
+func NewMinHash(field, maxFuncs int, seed uint64) *MinHash {
+	rng := xhash.NewRNG(seed)
+	seeds := make([]uint64, maxFuncs)
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+	return &MinHash{field: field, seeds: seeds}
+}
+
+// Hash implements Hasher: min over the set of splitmix64(elem ^ seed).
+// The empty set hashes to a sentinel that only collides with other
+// empty sets under the same function.
+func (m *MinHash) Hash(fn int, r *record.Record) uint64 {
+	s := r.Fields[m.field].(record.Set)
+	if len(s) == 0 {
+		return xhash.SplitMix64(m.seeds[fn] ^ 0xe7037ed1a0b428db)
+	}
+	seed := m.seeds[fn]
+	min := ^uint64(0)
+	for _, e := range s {
+		if h := xhash.SplitMix64(e ^ seed); h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// P implements Hasher.
+func (m *MinHash) P(x float64) float64 { return 1 - x }
+
+// MaxFunctions implements Hasher.
+func (m *MinHash) MaxFunctions() int { return len(m.seeds) }
+
+// Name implements Hasher.
+func (m *MinHash) Name() string { return fmt.Sprintf("minhash(f%d)", m.field) }
+
+// BitSample is the bit-sampling family for the Hamming distance — the
+// original LSH family of Indyk and Motwani: function fn returns bit
+// position pos[fn] of the fingerprint. Two fingerprints collide under
+// one function with probability 1 - x at normalized Hamming distance x.
+type BitSample struct {
+	field int
+	width int
+	pos   []int
+}
+
+// NewBitSample pre-draws maxFuncs random bit positions over
+// fingerprints of the given width on record field `field`.
+func NewBitSample(field, width, maxFuncs int, seed uint64) *BitSample {
+	rng := xhash.NewRNG(seed)
+	pos := make([]int, maxFuncs)
+	for i := range pos {
+		pos[i] = rng.Intn(width)
+	}
+	return &BitSample{field: field, width: width, pos: pos}
+}
+
+// Hash implements Hasher.
+func (b *BitSample) Hash(fn int, r *record.Record) uint64 {
+	f := r.Fields[b.field].(record.Bits)
+	if f.Width != b.width {
+		panic(fmt.Sprintf("lshfamily: bit sampler for width %d applied to width %d", b.width, f.Width))
+	}
+	return f.Bit(b.pos[fn])
+}
+
+// P implements Hasher.
+func (b *BitSample) P(x float64) float64 { return 1 - x }
+
+// MaxFunctions implements Hasher.
+func (b *BitSample) MaxFunctions() int { return len(b.pos) }
+
+// Name implements Hasher.
+func (b *BitSample) Name() string {
+	return fmt.Sprintf("bitsample(f%d,width=%d)", b.field, b.width)
+}
+
+// WeightedMix implements the weighted-average function selection of
+// Definition 7: base function fn first picks one of the sub-hashers
+// with probability proportional to its weight (the pick is fixed per
+// function index, drawn at construction), then applies that hasher's
+// function fn. By Theorem 3, if every sub-family has collision
+// probability 1 - d on its field, the mix collides with probability
+// 1 - dbar where dbar is the weighted average distance, so P(x) = 1-x
+// with x the weighted-average normalized distance.
+type WeightedMix struct {
+	subs   []Hasher
+	choice []uint8
+	name   string
+}
+
+// NewWeightedMix builds the Definition 7 mixer over sub-hashers with
+// the given positive weights (they are normalized internally). All
+// sub-hashers must offer at least maxFuncs functions.
+func NewWeightedMix(subs []Hasher, weights []float64, maxFuncs int, seed uint64) *WeightedMix {
+	if len(subs) == 0 || len(subs) != len(weights) {
+		panic(fmt.Sprintf("lshfamily: weighted mix needs parallel subs/weights, got %d/%d", len(subs), len(weights)))
+	}
+	if len(subs) > 256 {
+		panic("lshfamily: weighted mix supports at most 256 sub-hashers")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			panic(fmt.Sprintf("lshfamily: weighted mix weight %g is not positive", w))
+		}
+		total += w
+	}
+	for _, s := range subs {
+		if s.MaxFunctions() < maxFuncs {
+			panic(fmt.Sprintf("lshfamily: sub-hasher %s offers %d functions, mix needs %d", s.Name(), s.MaxFunctions(), maxFuncs))
+		}
+	}
+	rng := xhash.NewRNG(seed)
+	choice := make([]uint8, maxFuncs)
+	for i := range choice {
+		u := rng.Float64() * total
+		acc := 0.0
+		pick := len(weights) - 1
+		for j, w := range weights {
+			acc += w
+			if u < acc {
+				pick = j
+				break
+			}
+		}
+		choice[i] = uint8(pick)
+	}
+	name := "wavg("
+	for i, s := range subs {
+		if i > 0 {
+			name += ","
+		}
+		name += s.Name()
+	}
+	name += ")"
+	return &WeightedMix{subs: subs, choice: choice, name: name}
+}
+
+// Hash implements Hasher.
+func (w *WeightedMix) Hash(fn int, r *record.Record) uint64 {
+	return w.subs[w.choice[fn]].Hash(fn, r)
+}
+
+// P implements Hasher (Theorem 3): 1 - x at weighted-average distance x.
+func (w *WeightedMix) P(x float64) float64 { return 1 - x }
+
+// MaxFunctions implements Hasher.
+func (w *WeightedMix) MaxFunctions() int { return len(w.choice) }
+
+// Name implements Hasher.
+func (w *WeightedMix) Name() string { return w.name }

@@ -1,0 +1,228 @@
+package lshfamily
+
+import (
+	"math"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// collisionRate estimates the fraction of base functions on which two
+// records agree.
+func collisionRate(h Hasher, a, b *record.Record, n int) float64 {
+	match := 0
+	for fn := 0; fn < n; fn++ {
+		if h.Hash(fn, a) == h.Hash(fn, b) {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
+}
+
+func vecRecord(v ...float64) *record.Record {
+	return &record.Record{Fields: []record.Field{record.Vector(v)}}
+}
+
+func setRecord(elems ...uint64) *record.Record {
+	return &record.Record{Fields: []record.Field{record.NewSet(elems)}}
+}
+
+func TestHyperplaneCollisionProbability(t *testing.T) {
+	const n = 8000
+	h := NewHyperplane(0, 2, n, 7)
+	cases := []struct {
+		a, b *record.Record
+		deg  float64
+	}{
+		{vecRecord(1, 0), vecRecord(1, 0), 0},
+		{vecRecord(1, 0), vecRecord(1, 1), 45},
+		{vecRecord(1, 0), vecRecord(0, 1), 90},
+		{vecRecord(1, 0), vecRecord(-1, 1), 135},
+	}
+	for _, c := range cases {
+		want := 1 - c.deg/180
+		got := collisionRate(h, c.a, c.b, n)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("angle %v: collision rate %.3f, want %.3f +- 0.02", c.deg, got, want)
+		}
+	}
+}
+
+func TestHyperplaneDeterministic(t *testing.T) {
+	a := NewHyperplane(0, 3, 50, 9)
+	b := NewHyperplane(0, 3, 50, 9)
+	r := vecRecord(0.3, -1, 2)
+	for fn := 0; fn < 50; fn++ {
+		if a.Hash(fn, r) != b.Hash(fn, r) {
+			t.Fatalf("same-seed hyperplanes disagree at fn %d", fn)
+		}
+	}
+}
+
+func TestHyperplaneDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dim mismatch")
+		}
+	}()
+	NewHyperplane(0, 3, 4, 1).Hash(0, vecRecord(1, 2))
+}
+
+func TestMinHashCollisionProbability(t *testing.T) {
+	const n = 8000
+	h := NewMinHash(0, n, 5)
+	a := setRecord(1, 2, 3, 4, 5, 6)
+	b := setRecord(4, 5, 6, 7, 8, 9) // jaccard sim 3/9 = 1/3
+	got := collisionRate(h, a, b, n)
+	if math.Abs(got-1.0/3) > 0.02 {
+		t.Errorf("collision rate %.3f, want ~0.333", got)
+	}
+	if collisionRate(h, a, a, 100) != 1 {
+		t.Error("identical sets must always collide")
+	}
+}
+
+func TestMinHashEmptySets(t *testing.T) {
+	h := NewMinHash(0, 10, 3)
+	empty := setRecord()
+	other := setRecord(1, 2, 3)
+	if h.Hash(0, empty) != h.Hash(0, empty) {
+		t.Error("empty-set hash not deterministic")
+	}
+	collide := 0
+	for fn := 0; fn < 10; fn++ {
+		if h.Hash(fn, empty) == h.Hash(fn, other) {
+			collide++
+		}
+	}
+	if collide != 0 {
+		t.Errorf("empty set collided with non-empty %d/10 times", collide)
+	}
+}
+
+func TestWeightedMixTheorem3(t *testing.T) {
+	// Two set fields with Jaccard similarities 1.0 and 0.2: with
+	// weights (0.75, 0.25) Theorem 3 predicts collision probability
+	// 0.75*1.0 + 0.25*0.2 = 0.8.
+	const n = 12000
+	subs := []Hasher{NewMinHash(0, n, 1), NewMinHash(1, n, 2)}
+	mix := NewWeightedMix(subs, []float64{0.75, 0.25}, n, 3)
+	a := &record.Record{Fields: []record.Field{
+		record.NewSet([]uint64{1, 2, 3, 4}),
+		record.NewSet([]uint64{10, 11, 12}),
+	}}
+	b := &record.Record{Fields: []record.Field{
+		record.NewSet([]uint64{1, 2, 3, 4}),
+		record.NewSet([]uint64{12, 13, 14}),
+	}}
+	// Field distances: 0 and 0.8; weighted average 0.2.
+	wavg := 0.75*distance.JaccardSet(a.Fields[0].(record.Set), b.Fields[0].(record.Set)) +
+		0.25*distance.JaccardSet(a.Fields[1].(record.Set), b.Fields[1].(record.Set))
+	got := collisionRate(mix, a, b, n)
+	want := 1 - wavg
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("mix collision rate %.3f, want %.3f (Theorem 3)", got, want)
+	}
+}
+
+func TestWeightedMixPanics(t *testing.T) {
+	sub := NewMinHash(0, 10, 1)
+	for name, fn := range map[string]func(){
+		"mismatched lengths": func() { NewWeightedMix([]Hasher{sub}, []float64{0.5, 0.5}, 10, 1) },
+		"non-positive":       func() { NewWeightedMix([]Hasher{sub, sub}, []float64{1, 0}, 10, 1) },
+		"too few functions":  func() { NewWeightedMix([]Hasher{sub, sub}, []float64{1, 1}, 11, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewHyperplane(1, 4, 2, 0).Name() == "" ||
+		NewMinHash(0, 2, 0).Name() == "" {
+		t.Fatal("empty hasher name")
+	}
+	mix := NewWeightedMix([]Hasher{NewMinHash(0, 2, 0), NewMinHash(1, 2, 0)}, []float64{1, 1}, 2, 0)
+	if mix.Name() == "" || mix.MaxFunctions() != 2 {
+		t.Fatal("bad mix metadata")
+	}
+}
+
+// TestSchemeProbMonteCarlo verifies the (w,z)-scheme collision formula
+// 1-(1-p^w)^z against simulation with MinHash.
+func TestSchemeProbMonteCarlo(t *testing.T) {
+	const w, z, trials = 3, 4, 4000
+	h := NewMinHash(0, w*z*1, 11)
+	_ = h
+	a := setRecord(1, 2, 3, 4)
+	b := setRecord(3, 4, 5, 6) // sim 1/3
+	p := 1.0 / 3
+	want := SchemeProb(p, w, z)
+	hit := 0
+	rng := xhash.NewRNG(17)
+	for trial := 0; trial < trials; trial++ {
+		ht := NewMinHash(0, w*z, rng.Uint64())
+		collide := false
+		for table := 0; table < z && !collide; table++ {
+			all := true
+			for i := 0; i < w; i++ {
+				if ht.Hash(table*w+i, a) != ht.Hash(table*w+i, b) {
+					all = false
+					break
+				}
+			}
+			collide = all
+		}
+		if collide {
+			hit++
+		}
+	}
+	got := float64(hit) / trials
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("scheme collision %.3f, want %.3f (formula)", got, want)
+	}
+}
+
+func TestProbAlgebra(t *testing.T) {
+	if AndProb(0.5, 2) != 0.25 {
+		t.Error("AndProb")
+	}
+	if OrProb(0.5, 2) != 0.75 {
+		t.Error("OrProb")
+	}
+	if got := SchemeProb(0.5, 1, 1); got != 0.5 {
+		t.Errorf("SchemeProb(0.5,1,1) = %v", got)
+	}
+	if got := SchemeProbRem(0.5, 1, 1, 0); got != 0.5 {
+		t.Errorf("SchemeProbRem no-rem = %v", got)
+	}
+	// Remainder table adds collision chance.
+	if SchemeProbRem(0.5, 2, 3, 1) <= SchemeProb(0.5, 2, 3) {
+		t.Error("remainder table did not increase collision probability")
+	}
+	// AND scheme: w functions on field 1, u on field 2.
+	if got, want := AndSchemeProb(0.5, 0.5, 1, 1, 1), 0.25; got != want {
+		t.Errorf("AndSchemeProb = %v, want %v", got, want)
+	}
+	// OR scheme: union of the two sub-schemes' collisions.
+	got := OrSchemeProb(0.5, 0.5, 1, 1, 1, 1)
+	if want := 0.75; math.Abs(got-want) > 1e-12 {
+		t.Errorf("OrSchemeProb = %v, want %v", got, want)
+	}
+	// Monotonicity: more tables can only raise collision probability.
+	if SchemeProb(0.3, 2, 8) <= SchemeProb(0.3, 2, 4) {
+		t.Error("more tables should increase collision probability")
+	}
+	// More functions per table lowers it.
+	if SchemeProb(0.3, 4, 4) >= SchemeProb(0.3, 2, 4) {
+		t.Error("more functions should decrease collision probability")
+	}
+}

@@ -1,0 +1,50 @@
+package lshfamily
+
+import "math"
+
+// AndProb amplifies a base collision probability with a w-way
+// AND-construction (Definition 5): all w functions must agree.
+func AndProb(p float64, w int) float64 {
+	return math.Pow(p, float64(w))
+}
+
+// OrProb amplifies a base collision probability with a z-way
+// OR-construction (Definition 6): at least one of z functions agrees.
+func OrProb(p float64, z int) float64 {
+	return 1 - math.Pow(1-p, float64(z))
+}
+
+// SchemeProb is the collision probability of a (w, z)-scheme — z hash
+// tables of w AND-ed functions each — for a pair whose base collision
+// probability is p: 1 - (1 - p^w)^z (paper Example 3 / Appendix A).
+func SchemeProb(p float64, w, z int) float64 {
+	return OrProb(AndProb(p, w), z)
+}
+
+// SchemeProbRem extends SchemeProb with the paper's non-integer-divisor
+// remainder table (Section 5.1): z full tables of w functions plus, when
+// wrem > 0, one extra table of wrem functions:
+//
+//	1 - (1 - p^w)^z * (1 - p^wrem)
+func SchemeProbRem(p float64, w, z, wrem int) float64 {
+	q := math.Pow(1-AndProb(p, w), float64(z))
+	if wrem > 0 {
+		q *= 1 - AndProb(p, wrem)
+	}
+	return 1 - q
+}
+
+// AndSchemeProb is the collision probability of the AND-rule scheme of
+// Appendix C.1: z tables, each concatenating w functions of field 1 and
+// u functions of field 2, for a pair with base collision probabilities
+// p1 and p2 on the two fields: 1 - (1 - p1^w * p2^u)^z.
+func AndSchemeProb(p1, p2 float64, w, u, z int) float64 {
+	return OrProb(AndProb(p1, w)*AndProb(p2, u), z)
+}
+
+// OrSchemeProb is the collision probability of the OR-rule scheme of
+// Appendix C.2: z tables on field 1 (w functions each) plus v tables on
+// field 2 (u functions each): 1 - (1-p1^w)^z * (1-p2^u)^v.
+func OrSchemeProb(p1, p2 float64, w, z, u, v int) float64 {
+	return 1 - math.Pow(1-AndProb(p1, w), float64(z))*math.Pow(1-AndProb(p2, u), float64(v))
+}

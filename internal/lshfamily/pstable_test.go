@@ -1,0 +1,71 @@
+package lshfamily
+
+import (
+	"math"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// TestPStableCollisionProbability verifies the E2LSH collision formula
+// against Monte Carlo over the generated functions, at several scaled
+// distances.
+func TestPStableCollisionProbability(t *testing.T) {
+	const (
+		dim   = 8
+		n     = 20000
+		scale = 10.0
+	)
+	metric := distance.Euclidean{Scale: scale}
+	h := NewPStable(0, dim, n, scale, metric.EffectiveBucket(), 5)
+	base := make(record.Vector, dim)
+	for i := range base {
+		base[i] = float64(i)
+	}
+	for _, scaledDist := range []float64{0.05, 0.125, 0.25, 0.5} {
+		// Offset along one axis by the raw distance.
+		other := append(record.Vector(nil), base...)
+		other[0] += scaledDist * scale
+		a := &record.Record{Fields: []record.Field{base}}
+		b := &record.Record{Fields: []record.Field{other}}
+		got := collisionRate(h, a, b, n)
+		want := metric.P(scaledDist)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("x=%g: collision rate %.3f, formula %.3f", scaledDist, got, want)
+		}
+	}
+}
+
+func TestPStableBasics(t *testing.T) {
+	h := NewPStable(0, 3, 10, 4, 0.25, 9)
+	r := &record.Record{Fields: []record.Field{record.Vector{1, 2, 3}}}
+	if h.Hash(0, r) != h.Hash(0, r) {
+		t.Error("not deterministic")
+	}
+	if h.MaxFunctions() != 10 || h.Name() == "" {
+		t.Error("bad metadata")
+	}
+	if h.P(0) != 1 {
+		t.Error("P(0) != 1")
+	}
+	if h.P(0.1) <= h.P(0.5) {
+		t.Error("P not decreasing")
+	}
+	// Dim mismatch panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dim mismatch")
+		}
+	}()
+	h.Hash(0, &record.Record{Fields: []record.Field{record.Vector{1}}})
+}
+
+func TestPStableArgPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-positive scale")
+		}
+	}()
+	NewPStable(0, 3, 4, 0, 0.25, 1)
+}

@@ -1,0 +1,225 @@
+// Package metrics implements the accuracy and performance metrics of
+// Section 6.2: Precision/Recall/F1 Gold over the filtering output as a
+// set, mean Average Precision/Recall over the output as ranked
+// clusters, F1 Target against the Pairs baseline, dataset reduction,
+// the benchmark-ER speedups with and without recovery, and the perfect
+// recovery process of Section 6.1.2.
+package metrics
+
+import (
+	"sort"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// PRF holds a precision/recall/F1 triple.
+type PRF struct {
+	Precision, Recall, F1 float64
+}
+
+// prf assembles the triple, with the 0/0 conventions: empty output and
+// empty truth count as perfect.
+func prf(inter, outSize, truthSize int) PRF {
+	p := PRF{}
+	switch {
+	case outSize == 0 && truthSize == 0:
+		p.Precision, p.Recall = 1, 1
+	case outSize == 0:
+		p.Recall = 0
+		p.Precision = 1
+	case truthSize == 0:
+		p.Precision = 0
+		p.Recall = 1
+	default:
+		p.Precision = float64(inter) / float64(outSize)
+		p.Recall = float64(inter) / float64(truthSize)
+	}
+	if p.Precision+p.Recall > 0 {
+		p.F1 = 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+	}
+	return p
+}
+
+// SetPRF compares an output record set against a reference record set
+// (both as record-ID slices, duplicates ignored).
+func SetPRF(output []int32, truth []int) PRF {
+	outSet := make(map[int32]bool, len(output))
+	for _, r := range output {
+		outSet[r] = true
+	}
+	truthSet := make(map[int]bool, len(truth))
+	for _, r := range truth {
+		truthSet[r] = true
+	}
+	inter := 0
+	for r := range truthSet {
+		if outSet[int32(r)] {
+			inter++
+		}
+	}
+	return prf(inter, len(outSet), len(truthSet))
+}
+
+// Gold computes Precision/Recall/F1 Gold (Section 6.2.1): the filtering
+// output as a set against the records of the k largest ground-truth
+// entities.
+func Gold(ds *record.Dataset, output []int32, k int) PRF {
+	return SetPRF(output, ds.TopKRecords(k))
+}
+
+// Target computes F1 Target (Appendix E.1): the output against the
+// top-k records as computed by the Pairs baseline (the rule's own
+// transitive closure), quantifying errors introduced by LSH
+// randomness rather than by the rule.
+func Target(output []int32, pairsOutput []int32) PRF {
+	truth := make([]int, len(pairsOutput))
+	for i, r := range pairsOutput {
+		truth[i] = int(r)
+	}
+	return SetPRF(output, truth)
+}
+
+// MAPR computes the mean Average Precision and mean Average Recall of
+// Section 6.2.1: the output treated as ranked clusters (largest first)
+// against the ground-truth clustering. Precision at rank j compares
+// the union of the first j output clusters against the union of the j
+// largest ground-truth entities; mAP/mAR average over j = 1..k. This
+// reproduces the paper's worked example — C = {{a,b,c,f},{e}},
+// C* = {{a,b,c},{e,g}} gives mAP (0.75+0.8)/2 = 0.775 and mAR
+// (1.0+0.8)/2 = 0.9 — and weighs errors on higher-ranked entities more.
+func MAPR(ds *record.Dataset, clusters [][]int32, k int) (mAP, mAR float64) {
+	if k < 1 || len(clusters) == 0 {
+		return 0, 0
+	}
+	truth := ds.TopEntities(k)
+	outUnion := make(map[int32]bool)
+	truthUnion := make(map[int]bool)
+	inter := 0
+	var sumP, sumR float64
+	for j := 0; j < k; j++ {
+		if j < len(clusters) {
+			for _, r := range clusters[j] {
+				if outUnion[r] {
+					continue
+				}
+				outUnion[r] = true
+				if truthUnion[int(r)] {
+					inter++
+				}
+			}
+		}
+		if j < len(truth) {
+			for _, r := range truth[j] {
+				if truthUnion[r] {
+					continue
+				}
+				truthUnion[r] = true
+				if outUnion[int32(r)] {
+					inter++
+				}
+			}
+		}
+		p := prf(inter, len(outUnion), len(truthUnion))
+		sumP += p.Precision
+		sumR += p.Recall
+	}
+	return sumP / float64(k), sumR / float64(k)
+}
+
+// PerfectER partitions a filtering output by ground-truth entity — the
+// outcome of applying a "perfect" ER algorithm on the reduced dataset
+// (Section 6.2.1: "if the ER algorithm is perfect the output will be
+// exactly the same with clustering C"). Records with unknown truth
+// become singletons. Clusters are returned largest first.
+func PerfectER(ds *record.Dataset, output []int32) [][]int32 {
+	byEnt := make(map[int][]int32)
+	var singletons [][]int32
+	for _, r := range output {
+		if e := ds.Truth[r]; e >= 0 {
+			byEnt[e] = append(byEnt[e], r)
+		} else {
+			singletons = append(singletons, []int32{r})
+		}
+	}
+	out := make([][]int32, 0, len(byEnt)+len(singletons))
+	ids := make([]int, 0, len(byEnt))
+	for e := range byEnt {
+		ids = append(ids, e)
+	}
+	sort.Ints(ids)
+	for _, e := range ids {
+		out = append(out, byEnt[e])
+	}
+	out = append(out, singletons...)
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) > len(out[j]) })
+	return out
+}
+
+// Reduction is the dataset reduction percentage (Section 6.2.2): the
+// filtering output size as a percentage of the dataset.
+func Reduction(ds *record.Dataset, output []int32) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	return 100 * float64(len(output)) / float64(ds.Len())
+}
+
+// RecoveredClusters applies the "perfect" recovery process of Section
+// 6.1.2 and 6.2.1: for each entity referenced by any output record, the
+// full ground-truth cluster of that entity, ranked by the size of the
+// output cluster that referenced it. The result is what a perfect ER
+// algorithm plus perfect recovery would produce from the filtering
+// output.
+func RecoveredClusters(ds *record.Dataset, clusters [][]int32) [][]int32 {
+	seen := make(map[int]bool)
+	ents := ds.Entities()
+	var out [][]int32
+	for _, c := range clusters {
+		// Entities referenced by this cluster, by share.
+		counts := make(map[int]int)
+		for _, r := range c {
+			if e := ds.Truth[r]; e >= 0 {
+				counts[e]++
+			}
+		}
+		ids := make([]int, 0, len(counts))
+		for e := range counts {
+			ids = append(ids, e)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if counts[ids[i]] != counts[ids[j]] {
+				return counts[ids[i]] > counts[ids[j]]
+			}
+			return ids[i] < ids[j]
+		})
+		for _, e := range ids {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			full := ents[e]
+			rec := make([]int32, len(full))
+			for i, r := range full {
+				rec[i] = int32(r)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Union flattens clusters into a deduplicated sorted record list.
+func Union(clusters [][]int32) []int32 {
+	seen := make(map[int32]bool)
+	var out []int32
+	for _, c := range clusters {
+		for _, r := range c {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

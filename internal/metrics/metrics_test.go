@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// paperExample builds the worked example of Section 6.2.1:
+// C = {{a,b,c,f},{e}}, C* = {{a,b,c},{e,g}}. Records are numbered
+// a=0, b=1, c=2, e=3, f=4, g=5.
+func paperExample() (*record.Dataset, [][]int32) {
+	ds := &record.Dataset{}
+	ds.Add(0, record.Set{0}) // a
+	ds.Add(0, record.Set{1}) // b
+	ds.Add(0, record.Set{2}) // c
+	ds.Add(1, record.Set{3}) // e
+	ds.Add(2, record.Set{4}) // f (not in any top entity's truth)
+	ds.Add(1, record.Set{5}) // g
+	clusters := [][]int32{{0, 1, 2, 4}, {3}}
+	return ds, clusters
+}
+
+func TestMAPRPaperExample(t *testing.T) {
+	ds, clusters := paperExample()
+	mAP, mAR := MAPR(ds, clusters, 2)
+	// Paper: mAP = (0.75 + 0.8)/2 = 0.775, mAR = (1.0 + 0.8)/2 = 0.9.
+	if !almostEq(mAP, 0.775) {
+		t.Errorf("mAP = %v, want 0.775", mAP)
+	}
+	if !almostEq(mAR, 0.9) {
+		t.Errorf("mAR = %v, want 0.9", mAR)
+	}
+}
+
+func TestMAPREdgeCases(t *testing.T) {
+	ds, clusters := paperExample()
+	if ap, ar := MAPR(ds, nil, 2); ap != 0 || ar != 0 {
+		t.Error("MAPR of empty clustering should be 0")
+	}
+	if ap, ar := MAPR(ds, clusters, 0); ap != 0 || ar != 0 {
+		t.Error("MAPR with k=0 should be 0")
+	}
+	// Perfect ranked output scores 1/1.
+	perfect := [][]int32{{0, 1, 2}, {3, 5}}
+	ap, ar := MAPR(ds, perfect, 2)
+	if !almostEq(ap, 1) || !almostEq(ar, 1) {
+		t.Errorf("perfect output: mAP=%v mAR=%v", ap, ar)
+	}
+	// Higher-ranked errors weigh more: an error in the top cluster
+	// hurts more than the same error in the second.
+	errTop, _ := MAPR(ds, [][]int32{{0, 1, 4}, {3, 5}}, 2)    // f polluting rank 1
+	errSecond, _ := MAPR(ds, [][]int32{{0, 1, 2}, {3, 4}}, 2) // f polluting rank 2
+	if errTop >= errSecond {
+		t.Errorf("rank-1 error mAP %v not below rank-2 error mAP %v", errTop, errSecond)
+	}
+}
+
+func TestPerfectER(t *testing.T) {
+	ds, _ := paperExample()
+	// Output holds parts of all three entities plus an unknown-truth
+	// record.
+	ds.Add(-1, record.Set{9})
+	clusters := PerfectER(ds, []int32{0, 1, 3, 4, 6})
+	// Entities among the output: entity 0 (a, b), entity 1 (e),
+	// entity 2 (f), unknown singleton.
+	if len(clusters) != 4 {
+		t.Fatalf("clusters = %v", clusters)
+	}
+	if len(clusters[0]) != 2 {
+		t.Fatalf("largest recovered cluster %v", clusters[0])
+	}
+	// Purity: every cluster is one entity.
+	for _, c := range clusters {
+		e := ds.Truth[c[0]]
+		for _, r := range c {
+			if ds.Truth[r] != e {
+				t.Fatalf("impure perfect-ER cluster %v", c)
+			}
+		}
+	}
+}
+
+func TestSetPRF(t *testing.T) {
+	p := SetPRF([]int32{0, 1, 2, 3}, []int{2, 3, 4, 5})
+	if !almostEq(p.Precision, 0.5) || !almostEq(p.Recall, 0.5) || !almostEq(p.F1, 0.5) {
+		t.Errorf("PRF = %+v", p)
+	}
+	// Perfect.
+	p = SetPRF([]int32{1, 2}, []int{1, 2})
+	if p.F1 != 1 {
+		t.Errorf("perfect F1 = %v", p.F1)
+	}
+	// Both empty: perfect by convention.
+	p = SetPRF(nil, nil)
+	if p.Precision != 1 || p.Recall != 1 {
+		t.Errorf("empty/empty = %+v", p)
+	}
+	// Empty output, non-empty truth: recall 0.
+	p = SetPRF(nil, []int{1})
+	if p.Recall != 0 || p.F1 != 0 {
+		t.Errorf("empty output = %+v", p)
+	}
+}
+
+func TestGoldUsesTopKTruth(t *testing.T) {
+	ds := &record.Dataset{}
+	// Entity 0: records 0,1,2; entity 1: records 3,4; entity 2: 5.
+	for _, e := range []int{0, 0, 0, 1, 1, 2} {
+		ds.Add(e, record.Set{})
+	}
+	g := Gold(ds, []int32{0, 1, 2}, 1)
+	if g.F1 != 1 {
+		t.Errorf("exact top-1 output: F1 = %v", g.F1)
+	}
+	g = Gold(ds, []int32{0, 1, 2, 3, 4}, 1)
+	if !almostEq(g.Precision, 0.6) || g.Recall != 1 {
+		t.Errorf("over-returning: %+v", g)
+	}
+}
+
+func TestTarget(t *testing.T) {
+	p := Target([]int32{1, 2, 3}, []int32{1, 2, 3})
+	if p.F1 != 1 {
+		t.Errorf("identical outputs: F1 = %v", p.F1)
+	}
+	p = Target([]int32{1, 2}, []int32{3, 4})
+	if p.F1 != 0 {
+		t.Errorf("disjoint outputs: F1 = %v", p.F1)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	ds := &record.Dataset{}
+	for i := 0; i < 10; i++ {
+		ds.Add(0, record.Set{})
+	}
+	if got := Reduction(ds, []int32{1, 2, 3}); !almostEq(got, 30) {
+		t.Errorf("Reduction = %v, want 30", got)
+	}
+	if Reduction(&record.Dataset{}, nil) != 0 {
+		t.Error("Reduction of empty dataset should be 0")
+	}
+}
+
+func TestRecoveredClusters(t *testing.T) {
+	ds := &record.Dataset{}
+	// Entity 0: 0,1,2; entity 1: 3,4.
+	for _, e := range []int{0, 0, 0, 1, 1} {
+		ds.Add(e, record.Set{})
+	}
+	// Filtering found only part of entity 0 plus a stray of entity 1.
+	rec := RecoveredClusters(ds, [][]int32{{0, 1, 3}})
+	if len(rec) != 2 {
+		t.Fatalf("recovered %d clusters", len(rec))
+	}
+	// First recovered cluster is the full entity 0 (the plurality of
+	// the referencing cluster), second the full entity 1.
+	if len(rec[0]) != 3 || len(rec[1]) != 2 {
+		t.Fatalf("recovered sizes %d, %d", len(rec[0]), len(rec[1]))
+	}
+	// Each entity recovered once even if referenced twice.
+	rec = RecoveredClusters(ds, [][]int32{{0, 1}, {2}})
+	if len(rec) != 1 {
+		t.Fatalf("entity recovered twice: %d clusters", len(rec))
+	}
+}
+
+func TestUnion(t *testing.T) {
+	u := Union([][]int32{{3, 1}, {2, 3}})
+	want := []int32{1, 2, 3}
+	if len(u) != 3 {
+		t.Fatalf("union = %v", u)
+	}
+	for i := range want {
+		if u[i] != want[i] {
+			t.Fatalf("union = %v", u)
+		}
+	}
+}
+
+func TestSpeedupFormulas(t *testing.T) {
+	in := SpeedupInput{
+		DatasetSize:   1000,
+		OutputSize:    100,
+		FilteringTime: 100 * time.Millisecond,
+		CostP:         1e-5,
+	}
+	whole := 1000.0 * 999 / 2 * 1e-5 // 4.995s
+	reduced := 100.0 * 99 / 2 * 1e-5 // 0.0495s
+	recovery := 100.0 * 900 * 1e-5   // 0.9s
+	if !almostEq(in.WholeTime(), whole) {
+		t.Errorf("WholeTime = %v", in.WholeTime())
+	}
+	if !almostEq(in.ReducedTime(), reduced) {
+		t.Errorf("ReducedTime = %v", in.ReducedTime())
+	}
+	if !almostEq(in.RecoveryTime(), recovery) {
+		t.Errorf("RecoveryTime = %v", in.RecoveryTime())
+	}
+	wantNoRec := whole / (0.1 + reduced)
+	if !almostEq(in.SpeedupWithoutRecovery(), wantNoRec) {
+		t.Errorf("SpeedupWithoutRecovery = %v, want %v", in.SpeedupWithoutRecovery(), wantNoRec)
+	}
+	wantRec := whole / (0.1 + reduced + recovery)
+	if !almostEq(in.SpeedupWithRecovery(), wantRec) {
+		t.Errorf("SpeedupWithRecovery = %v, want %v", in.SpeedupWithRecovery(), wantRec)
+	}
+	// Recovery can only slow things down.
+	if in.SpeedupWithRecovery() >= in.SpeedupWithoutRecovery() {
+		t.Error("recovery speedup not below plain speedup")
+	}
+}
+
+func TestMeasureCostP(t *testing.T) {
+	ds := &record.Dataset{}
+	for i := 0; i < 10; i++ {
+		ds.Add(0, record.NewSet([]uint64{uint64(i)}))
+	}
+	c := MeasureCostP(ds, func(a, b *record.Record) bool { return true }, 100, 1)
+	if c <= 0 {
+		t.Fatalf("cost = %v", c)
+	}
+	// Degenerate inputs fall back to a positive default.
+	if MeasureCostP(&record.Dataset{}, nil, 10, 1) <= 0 {
+		t.Fatal("empty dataset cost not positive")
+	}
+}

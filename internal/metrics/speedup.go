@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"time"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// SpeedupInput carries everything the Section 6.2.2 speedup formulas
+// need.
+type SpeedupInput struct {
+	// DatasetSize is |R|.
+	DatasetSize int
+	// OutputSize is the filtering output size |O|.
+	OutputSize int
+	// FilteringTime is the measured filtering wall time.
+	FilteringTime time.Duration
+	// CostP is the measured per-pair similarity cost in seconds (the
+	// benchmark ER algorithm computes all pairwise similarities).
+	CostP float64
+}
+
+// pairs returns n choose 2 as float.
+func pairs(n int) float64 { return float64(n) * float64(n-1) / 2 }
+
+// WholeTime is the benchmark-ER time over the whole dataset:
+// |R| (|R|-1)/2 pairwise similarities.
+func (in SpeedupInput) WholeTime() float64 {
+	return pairs(in.DatasetSize) * in.CostP
+}
+
+// ReducedTime is the benchmark-ER time over the filtering output.
+func (in SpeedupInput) ReducedTime() float64 {
+	return pairs(in.OutputSize) * in.CostP
+}
+
+// RecoveryTime is the benchmark recovery time: each output record
+// compared with each non-output record.
+func (in SpeedupInput) RecoveryTime() float64 {
+	return float64(in.OutputSize) * float64(in.DatasetSize-in.OutputSize) * in.CostP
+}
+
+// SpeedupWithoutRecovery is WholeTime / (FilteringTime + ReducedTime).
+func (in SpeedupInput) SpeedupWithoutRecovery() float64 {
+	denom := in.FilteringTime.Seconds() + in.ReducedTime()
+	if denom == 0 {
+		return 0
+	}
+	return in.WholeTime() / denom
+}
+
+// SpeedupWithRecovery is
+// WholeTime / (FilteringTime + ReducedTime + RecoveryTime).
+func (in SpeedupInput) SpeedupWithRecovery() float64 {
+	denom := in.FilteringTime.Seconds() + in.ReducedTime() + in.RecoveryTime()
+	if denom == 0 {
+		return 0
+	}
+	return in.WholeTime() / denom
+}
+
+// MeasureCostP times the per-pair cost of a match rule on the dataset
+// with n deterministic samples (the cost the benchmark ER and recovery
+// algorithms are assumed to pay per similarity).
+func MeasureCostP(ds *record.Dataset, match func(a, b *record.Record) bool, n int, seed uint64) float64 {
+	if ds.Len() < 2 || n < 1 {
+		return 1e-9
+	}
+	// Spread sample pairs deterministically across the dataset.
+	start := time.Now()
+	sink := false
+	for i := 0; i < n; i++ {
+		a := int((uint64(i)*2654435761 + seed) % uint64(ds.Len()))
+		b := int((uint64(i)*40503 + seed/3 + 1) % uint64(ds.Len()))
+		if a == b {
+			b = (b + 1) % ds.Len()
+		}
+		sink = sink != match(&ds.Records[a], &ds.Records[b])
+	}
+	_ = sink
+	c := time.Since(start).Seconds() / float64(n)
+	if c <= 0 {
+		c = 1e-9
+	}
+	return c
+}

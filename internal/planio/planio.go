@@ -1,0 +1,125 @@
+// Package planio persists designed Adaptive LSH plans as JSON, so the
+// offline design step (scheme optimization, hasher seeding, cost
+// calibration) runs once and its outcome ships to production. A loaded
+// plan is bit-identical in behavior to the saved one: hashers are
+// rebuilt deterministically from their descriptors.
+package planio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/lshfamily"
+	"github.com/topk-er/adalsh/internal/rulespec"
+)
+
+// formatVersion guards against loading plans from incompatible
+// releases.
+const formatVersion = 1
+
+type jsonPart struct {
+	Hasher int `json:"hasher"`
+	Start  int `json:"start"`
+	Count  int `json:"count"`
+}
+
+type jsonTable struct {
+	Parts []jsonPart `json:"parts"`
+}
+
+type jsonFunc struct {
+	Seq            int         `json:"seq"`
+	Budget         int         `json:"budget"`
+	Label          string      `json:"label"`
+	Tables         []jsonTable `json:"tables"`
+	FuncsPerHasher []int       `json:"funcs_per_hasher"`
+}
+
+type jsonPlan struct {
+	Version  int              `json:"version"`
+	Rule     string           `json:"rule"`
+	Hashers  []lshfamily.Desc `json:"hashers"`
+	Funcs    []jsonFunc       `json:"funcs"`
+	CostP    float64          `json:"cost_p"`
+	CostFunc []float64        `json:"cost_func"`
+}
+
+// Write serializes a plan.
+func Write(w io.Writer, plan *core.Plan) error {
+	if len(plan.HasherDescs) != len(plan.Hashers) {
+		return fmt.Errorf("planio: plan has %d hasher descriptors for %d hashers (designed by an incompatible path?)",
+			len(plan.HasherDescs), len(plan.Hashers))
+	}
+	ruleSpec, err := rulespec.Format(plan.Rule)
+	if err != nil {
+		return fmt.Errorf("planio: %w", err)
+	}
+	out := jsonPlan{
+		Version:  formatVersion,
+		Rule:     ruleSpec,
+		Hashers:  plan.HasherDescs,
+		CostP:    plan.Cost.CostP,
+		CostFunc: plan.Cost.CostFunc,
+	}
+	for _, hf := range plan.Funcs {
+		jf := jsonFunc{Seq: hf.Seq, Budget: hf.Budget, Label: hf.Label, FuncsPerHasher: hf.FuncsPerHasher}
+		for _, t := range hf.Tables {
+			jt := jsonTable{Parts: make([]jsonPart, len(t.Parts))}
+			for i, p := range t.Parts {
+				jt.Parts[i] = jsonPart{Hasher: p.Hasher, Start: p.Start, Count: p.Count}
+			}
+			jf.Tables = append(jf.Tables, jt)
+		}
+		out.Funcs = append(out.Funcs, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Read deserializes and validates a plan.
+func Read(r io.Reader) (*core.Plan, error) {
+	var in jsonPlan
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("planio: decoding plan: %w", err)
+	}
+	if in.Version != formatVersion {
+		return nil, fmt.Errorf("planio: plan format version %d, this build reads %d", in.Version, formatVersion)
+	}
+	rule, err := rulespec.Parse(in.Rule)
+	if err != nil {
+		return nil, fmt.Errorf("planio: plan rule: %w", err)
+	}
+	if len(in.CostFunc) != len(in.Hashers) {
+		return nil, fmt.Errorf("planio: %d cost entries for %d hashers", len(in.CostFunc), len(in.Hashers))
+	}
+	plan := &core.Plan{
+		Rule:        rule,
+		HasherDescs: in.Hashers,
+		Cost:        core.CostModel{CostP: in.CostP, CostFunc: in.CostFunc},
+	}
+	for _, d := range in.Hashers {
+		h, err := d.Build()
+		if err != nil {
+			return nil, fmt.Errorf("planio: %w", err)
+		}
+		plan.Hashers = append(plan.Hashers, h)
+	}
+	for _, jf := range in.Funcs {
+		hf := &core.HashFunc{Seq: jf.Seq, Budget: jf.Budget, Label: jf.Label, FuncsPerHasher: jf.FuncsPerHasher}
+		for _, jt := range jf.Tables {
+			t := core.Table{Parts: make([]core.TablePart, len(jt.Parts))}
+			for i, p := range jt.Parts {
+				t.Parts[i] = core.TablePart{Hasher: p.Hasher, Start: p.Start, Count: p.Count}
+			}
+			hf.Tables = append(hf.Tables, t)
+		}
+		plan.Funcs = append(plan.Funcs, hf)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, fmt.Errorf("planio: loaded plan invalid: %w", err)
+	}
+	return plan, nil
+}

@@ -1,0 +1,128 @@
+package planio_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/datasets"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/planio"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+func smallSetDataset(seed uint64) *record.Dataset {
+	ds := &record.Dataset{Name: "p"}
+	rng := xhash.NewRNG(seed)
+	for ent := 0; ent < 4; ent++ {
+		base := make([]uint64, 40)
+		for i := range base {
+			base[i] = rng.Uint64()
+		}
+		for r := 0; r < 8-ent; r++ {
+			elems := make([]uint64, 0, 40)
+			for _, e := range base {
+				if rng.Float64() < 0.9 {
+					elems = append(elems, e)
+				}
+			}
+			ds.Add(ent, record.NewSet(elems))
+		}
+	}
+	return ds
+}
+
+// roundTrip saves and reloads a plan, then checks the reloaded plan
+// produces the identical filtering output.
+func roundTrip(t *testing.T, ds *record.Dataset, rule distance.Rule, k int) {
+	t.Helper()
+	plan, err := core.DesignPlan(ds, rule, core.SequenceConfig{Seed: 9, Levels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := planio.Write(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := planio.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.L() != plan.L() {
+		t.Fatalf("L = %d, want %d", loaded.L(), plan.L())
+	}
+	want, err := core.Filter(ds, plan, core.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Filter(ds, loaded, core.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Output) != len(want.Output) {
+		t.Fatalf("loaded plan output size %d, want %d", len(got.Output), len(want.Output))
+	}
+	for i := range want.Output {
+		if got.Output[i] != want.Output[i] {
+			t.Fatalf("loaded plan output differs at %d", i)
+		}
+	}
+}
+
+func TestRoundTripSingleField(t *testing.T) {
+	ds := smallSetDataset(3)
+	roundTrip(t, ds, distance.Threshold{Field: 0, Metric: distance.Jaccard{}, MaxDistance: 0.5}, 2)
+}
+
+func TestRoundTripCoraRule(t *testing.T) {
+	// The Cora rule exercises AND + weighted-mix hashers.
+	b := datasets.Cora(1, 5)
+	sub := b.Dataset.Subset("cora-sub", sampleIDs(b.Dataset.Len(), 300))
+	roundTrip(t, sub, b.Rule, 2)
+}
+
+func sampleIDs(n, take int) []int {
+	if take > n {
+		take = n
+	}
+	ids := make([]int, take)
+	for i := range ids {
+		ids[i] = i * n / take
+	}
+	return ids
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "nope",
+		"bad version": `{"version": 99}`,
+		"bad rule":    `{"version": 1, "rule": "euclid@0 <= 1"}`,
+		"cost mismatch": `{"version": 1, "rule": "jaccard@0 <= 0.5",
+			"hashers": [{"kind":"minhash","field":0,"max_funcs":8,"seed":1}], "cost_func": []}`,
+		"bad hasher kind": `{"version": 1, "rule": "jaccard@0 <= 0.5",
+			"hashers": [{"kind":"quantum","field":0,"max_funcs":8,"seed":1}], "cost_func": [1]}`,
+		"invalid plan": `{"version": 1, "rule": "jaccard@0 <= 0.5",
+			"hashers": [{"kind":"minhash","field":0,"max_funcs":8,"seed":1}], "cost_func": [1],
+			"funcs": []}`,
+	}
+	for name, in := range cases {
+		if _, err := planio.Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted invalid plan", name)
+		}
+	}
+}
+
+func TestWriteRequiresDescs(t *testing.T) {
+	ds := smallSetDataset(7)
+	plan, err := core.DesignPlan(ds, distance.Threshold{Field: 0, Metric: distance.Jaccard{}, MaxDistance: 0.5}, core.SequenceConfig{Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.HasherDescs = nil
+	var buf bytes.Buffer
+	if err := planio.Write(&buf, plan); err == nil {
+		t.Fatal("Write accepted a plan without descriptors")
+	}
+}

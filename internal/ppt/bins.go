@@ -1,0 +1,99 @@
+package ppt
+
+import "math/bits"
+
+// Sized is anything with a cluster size; the bin index stores Sized
+// items and retrieves a maximal one in (near-)constant time.
+type Sized interface{ Size() int }
+
+// Bins is the bin-based structure of Appendix B.4: an array of
+// log2(|R|) bins where bin b holds clusters whose size s satisfies
+// floor(log2(s)) == b. Finding the largest cluster scans the last
+// non-empty bin only, which in practice holds very few clusters.
+type Bins[T Sized] struct {
+	bins    [][]T
+	count   int
+	highest int // index of the highest possibly-non-empty bin
+}
+
+// NewBins creates a bin index for clusters of size up to maxSize.
+func NewBins[T Sized](maxSize int) *Bins[T] {
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	nb := bits.Len(uint(maxSize)) // floor(log2(maxSize)) + 1
+	return &Bins[T]{bins: make([][]T, nb), highest: -1}
+}
+
+// binFor returns the bin index of a cluster of size s.
+func (b *Bins[T]) binFor(s int) int {
+	if s < 1 {
+		panic("ppt: bin index for empty cluster")
+	}
+	i := bits.Len(uint(s)) - 1
+	if i >= len(b.bins) {
+		i = len(b.bins) - 1
+	}
+	return i
+}
+
+// Add inserts a cluster (constant time).
+func (b *Bins[T]) Add(c T) {
+	i := b.binFor(c.Size())
+	b.bins[i] = append(b.bins[i], c)
+	if i > b.highest {
+		b.highest = i
+	}
+	b.count++
+}
+
+// Len reports how many clusters are stored.
+func (b *Bins[T]) Len() int { return b.count }
+
+// PopLargest removes and returns the largest stored cluster. The
+// search starts from the last non-empty bin and picks that bin's
+// largest member (Appendix B.4). The second return is false when the
+// index is empty.
+func (b *Bins[T]) PopLargest() (T, bool) {
+	var zero T
+	for b.highest >= 0 && len(b.bins[b.highest]) == 0 {
+		b.highest--
+	}
+	if b.highest < 0 {
+		return zero, false
+	}
+	bin := b.bins[b.highest]
+	best := 0
+	for i := 1; i < len(bin); i++ {
+		if bin[i].Size() > bin[best].Size() {
+			best = i
+		}
+	}
+	c := bin[best]
+	last := len(bin) - 1
+	bin[best] = bin[last]
+	bin[last] = zero
+	b.bins[b.highest] = bin[:last]
+	b.count--
+	return c, true
+}
+
+// PeekLargestSize reports the size of the largest stored cluster, or 0
+// when empty.
+func (b *Bins[T]) PeekLargestSize() int {
+	h := b.highest
+	for h >= 0 && len(b.bins[h]) == 0 {
+		h--
+	}
+	b.highest = h
+	if h < 0 {
+		return 0
+	}
+	best := 0
+	for _, c := range b.bins[h] {
+		if c.Size() > best {
+			best = c.Size()
+		}
+	}
+	return best
+}

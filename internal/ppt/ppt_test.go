@@ -1,0 +1,225 @@
+package ppt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+func TestMakeTreeAndLeaves(t *testing.T) {
+	f := NewForest(3)
+	if f.InTree(0) {
+		t.Fatal("fresh leaf reported in tree")
+	}
+	r := f.MakeTree(0)
+	if !f.InTree(0) || f.LeafCount(r) != 1 {
+		t.Fatal("MakeTree bookkeeping wrong")
+	}
+	got := f.Leaves(nil, r)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Leaves = %v", got)
+	}
+}
+
+func TestMakeTreeTwicePanics(t *testing.T) {
+	f := NewForest(2)
+	f.MakeTree(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on double MakeTree")
+		}
+	}()
+	f.MakeTree(1)
+}
+
+func TestMergeSelfPanics(t *testing.T) {
+	f := NewForest(2)
+	r := f.MakeTree(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on self-merge")
+		}
+	}()
+	f.Merge(r, r)
+}
+
+func TestMergeChainsLeaves(t *testing.T) {
+	f := NewForest(4)
+	var roots [4]int32
+	for i := range roots {
+		roots[i] = f.MakeTree(i)
+	}
+	r01 := f.Merge(roots[0], roots[1])
+	r23 := f.Merge(roots[2], roots[3])
+	top := f.Merge(r01, r23)
+	if f.LeafCount(top) != 4 {
+		t.Fatalf("leaf count = %d", f.LeafCount(top))
+	}
+	leaves := f.Leaves(nil, top)
+	want := []int32{0, 1, 2, 3}
+	for i, l := range leaves {
+		if l != want[i] {
+			t.Fatalf("leaves = %v, want %v", leaves, want)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if f.Root(i) != top {
+			t.Fatalf("Root(%d) = %d, want %d", i, f.Root(i), top)
+		}
+	}
+	if !f.SameTree(0, 3) {
+		t.Fatal("SameTree(0,3) = false")
+	}
+}
+
+// TestForestMatchesNaiveUnionFind drives a forest and a naive
+// union-find with the same random merge script and compares the
+// resulting partitions (property-based).
+func TestForestMatchesNaiveUnionFind(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, opsRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		ops := int(opsRaw % 100)
+		rng := xhash.NewRNG(seed)
+		forest := NewForest(n)
+		naive := make([]int, n) // naive[i] = partition representative
+		for i := 0; i < n; i++ {
+			forest.MakeTree(i)
+			naive[i] = i
+		}
+		find := func(x int) int {
+			for naive[x] != x {
+				x = naive[x]
+			}
+			return x
+		}
+		for op := 0; op < ops; op++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			ra, rb := forest.Root(a), forest.Root(b)
+			na, nb := find(a), find(b)
+			if (ra == rb) != (na == nb) {
+				return false
+			}
+			if ra != rb {
+				forest.Merge(ra, rb)
+				naive[na] = nb
+			}
+		}
+		// Partitions must coincide and leaf counts must be exact.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if forest.SameTree(i, j) != (find(i) == find(j)) {
+					return false
+				}
+			}
+		}
+		counted := 0
+		for _, r := range forest.Roots() {
+			leaves := forest.Leaves(nil, r)
+			if len(leaves) != forest.LeafCount(r) {
+				return false
+			}
+			counted += len(leaves)
+		}
+		return counted == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type sizedInt int
+
+func (s sizedInt) Size() int { return int(s) }
+
+func TestBinsPopLargest(t *testing.T) {
+	b := NewBins[sizedInt](100)
+	for _, s := range []int{3, 1, 100, 7, 7, 2, 55} {
+		b.Add(sizedInt(s))
+	}
+	want := []int{100, 55, 7, 7, 3, 2, 1}
+	for i, w := range want {
+		got, ok := b.PopLargest()
+		if !ok || int(got) != w {
+			t.Fatalf("pop %d = %v (ok=%v), want %d", i, got, ok, w)
+		}
+	}
+	if _, ok := b.PopLargest(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestBinsInterleavedAddPop(t *testing.T) {
+	b := NewBins[sizedInt](1000)
+	b.Add(sizedInt(10))
+	b.Add(sizedInt(500))
+	if v, _ := b.PopLargest(); v != 500 {
+		t.Fatalf("got %v", v)
+	}
+	b.Add(sizedInt(900)) // larger than anything seen after a pop
+	b.Add(sizedInt(20))
+	if v, _ := b.PopLargest(); v != 900 {
+		t.Fatalf("got %v", v)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.PeekLargestSize() != 20 {
+		t.Fatalf("Peek = %d", b.PeekLargestSize())
+	}
+}
+
+// TestBinsAlwaysPopsMaximum is the core invariant, property-based:
+// whatever the insertion order, PopLargest returns a maximum element.
+func TestBinsAlwaysPopsMaximum(t *testing.T) {
+	f := func(seed uint64, sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		b := NewBins[sizedInt](1 << 16)
+		rng := xhash.NewRNG(seed)
+		live := make(map[int]int) // size -> count
+		maxLive := func() int {
+			m := 0
+			for s, c := range live {
+				if c > 0 && s > m {
+					m = s
+				}
+			}
+			return m
+		}
+		for _, raw := range sizes {
+			s := int(raw) + 1
+			b.Add(sizedInt(s))
+			live[s]++
+			if rng.Float64() < 0.4 {
+				got, ok := b.PopLargest()
+				if !ok || int(got) != maxLive() {
+					return false
+				}
+				live[int(got)]--
+			}
+		}
+		for b.Len() > 0 {
+			got, ok := b.PopLargest()
+			if !ok || int(got) != maxLive() {
+				return false
+			}
+			live[int(got)]--
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinsEmptyClusterPanics(t *testing.T) {
+	b := NewBins[sizedInt](10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic adding size-0 cluster")
+		}
+	}()
+	b.Add(sizedInt(0))
+}

@@ -1,0 +1,170 @@
+package record
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSetSortedUnique(t *testing.T) {
+	f := func(elems []uint64) bool {
+		s := NewSet(elems)
+		for i := 1; i < len(s); i++ {
+			if s[i-1] >= s[i] {
+				return false
+			}
+		}
+		// Every input element must be present.
+		for _, e := range elems {
+			if !s.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet([]uint64{5, 1, 3, 5, 1})
+	for _, e := range []uint64{1, 3, 5} {
+		if !s.Contains(e) {
+			t.Errorf("Contains(%d) = false", e)
+		}
+	}
+	for _, e := range []uint64{0, 2, 4, 6} {
+		if s.Contains(e) {
+			t.Errorf("Contains(%d) = true", e)
+		}
+	}
+	if len(s) != 3 {
+		t.Errorf("len = %d, want 3 (dedup)", len(s))
+	}
+}
+
+func TestFieldKinds(t *testing.T) {
+	if (Vector{1}).Kind() != VectorKind || (Set{1}).Kind() != SetKind {
+		t.Fatal("field kinds wrong")
+	}
+	if (Vector{1, 2}).Len() != 2 || (Set{1, 2, 3}).Len() != 3 {
+		t.Fatal("field lengths wrong")
+	}
+	if VectorKind.String() != "vector" || SetKind.String() != "set" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func buildDataset() *Dataset {
+	ds := &Dataset{Name: "t"}
+	// Entity 0: 3 records, entity 1: 2 records, entity 2: 1 record.
+	ds.Add(0, Set{1, 2})
+	ds.Add(1, Set{3})
+	ds.Add(0, Set{1, 2, 3})
+	ds.Add(2, Set{9})
+	ds.Add(0, Set{2})
+	ds.Add(1, Set{3, 4})
+	return ds
+}
+
+func TestDatasetValidate(t *testing.T) {
+	ds := buildDataset()
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Mismatched field layout.
+	bad := &Dataset{}
+	bad.Add(-1, Set{1})
+	bad.Add(-1, Set{1}, Set{2})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted ragged field layout")
+	}
+	// Mixed kinds at the same position.
+	bad2 := &Dataset{}
+	bad2.Add(-1, Set{1})
+	bad2.Add(-1, Vector{1})
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("Validate accepted mixed kinds")
+	}
+	// Corrupted ID.
+	ds.Records[0].ID = 5
+	if err := ds.Validate(); err == nil {
+		t.Fatal("Validate accepted wrong ID")
+	}
+}
+
+func TestTopEntities(t *testing.T) {
+	ds := buildDataset()
+	top := ds.TopEntities(2)
+	if len(top) != 2 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if len(top[0]) != 3 || len(top[1]) != 2 {
+		t.Fatalf("sizes = %d, %d; want 3, 2", len(top[0]), len(top[1]))
+	}
+	// Asking for more than exist returns all.
+	if got := len(ds.TopEntities(10)); got != 3 {
+		t.Fatalf("TopEntities(10) returned %d entities", got)
+	}
+}
+
+func TestTopEntitiesTieBreak(t *testing.T) {
+	ds := &Dataset{}
+	ds.Add(7, Set{1})
+	ds.Add(3, Set{2})
+	top := ds.TopEntities(2)
+	// Equal sizes: smaller entity ID first.
+	if ds.Truth[top[0][0]] != 3 || ds.Truth[top[1][0]] != 7 {
+		t.Fatalf("tie-break wrong: %v", top)
+	}
+}
+
+func TestTopKRecords(t *testing.T) {
+	ds := buildDataset()
+	got := ds.TopKRecords(1)
+	want := []int{0, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnknownTruthSkipped(t *testing.T) {
+	ds := &Dataset{}
+	ds.Add(-1, Set{1})
+	ds.Add(0, Set{2})
+	if got := len(ds.Entities()); got != 1 {
+		t.Fatalf("Entities() = %d, want 1 (unknowns skipped)", got)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	ds := buildDataset()
+	sub := ds.Subset("sub", []int{4, 0})
+	if sub.Len() != 2 || sub.Name != "sub" {
+		t.Fatalf("bad subset %+v", sub)
+	}
+	if sub.Truth[0] != 0 || sub.Truth[1] != 0 {
+		t.Fatalf("truth not carried: %v", sub.Truth)
+	}
+	if sub.Records[0].ID != 0 || sub.Records[1].ID != 1 {
+		t.Fatal("subset IDs not renumbered")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestTopEntitiesRecordsSorted(t *testing.T) {
+	ds := buildDataset()
+	for _, recs := range ds.TopEntities(3) {
+		if !sort.IntsAreSorted(recs) {
+			t.Fatalf("entity records not sorted: %v", recs)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package rulespec
+
+import "testing"
+
+// FuzzParse hammers the rule parser: it must never panic, and any rule
+// it accepts must format back into something it accepts again.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"jaccard@0 <= 0.6",
+		"cosine@1<=0.0167",
+		"hamming@2 <= 0.1",
+		"and(jaccard@0 <= 0.3, jaccard@1 <= 0.8)",
+		"or(cosine@0 <= 0.1, jaccard@1 <= 0.5)",
+		"wavg(jaccard@0*0.5 + jaccard@1*0.5 <= 0.3)",
+		"and(wavg(jaccard@0*0.5 + jaccard@1*0.5 <= 0.3), jaccard@2 <= 0.8)",
+		"and(",
+		"wavg(jaccard@0*1e309 <= 0.3)",
+		"jaccard@99999999999999999999 <= 0.5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		rule, err := Parse(input)
+		if err != nil {
+			return
+		}
+		spec, err := Format(rule)
+		if err != nil {
+			t.Fatalf("parsed %q but cannot format the result: %v", input, err)
+		}
+		if _, err := Parse(spec); err != nil {
+			t.Fatalf("reformatted rule %q does not parse: %v", spec, err)
+		}
+	})
+}

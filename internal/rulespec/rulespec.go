@@ -1,0 +1,321 @@
+// Package rulespec parses the compact textual rule language the
+// command-line tools use to describe matching rules:
+//
+//	jaccard@0 <= 0.6                      single-field threshold
+//	cosine@1 <= 0.0167                    cosine (normalized distance)
+//	and(R1, R2)                           both must match
+//	or(R1, R2)                            either must match
+//	wavg(jaccard@0*0.5 + jaccard@1*0.5 <= 0.3)
+//	                                      weighted-average threshold
+//
+// Whitespace is insignificant. Field indices refer to record fields.
+package rulespec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/topk-er/adalsh/internal/distance"
+)
+
+// Format renders a rule in the language Parse accepts, so rules can be
+// persisted and round-tripped. It returns an error for rule types or
+// metrics outside the language.
+func Format(r distance.Rule) (string, error) {
+	switch rr := r.(type) {
+	case distance.Threshold:
+		name, err := metricName(rr.Metric)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s@%d <= %g", name, rr.Field, rr.MaxDistance), nil
+	case distance.And, distance.Or:
+		head := "and"
+		var subs []distance.Rule
+		if and, ok := rr.(distance.And); ok {
+			subs = and
+		} else {
+			head = "or"
+			subs = rr.(distance.Or)
+		}
+		parts := make([]string, len(subs))
+		for i, sub := range subs {
+			s, err := Format(sub)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = s
+		}
+		return head + "(" + strings.Join(parts, ", ") + ")", nil
+	case distance.WeightedAverage:
+		parts := make([]string, len(rr.Fields))
+		for i := range rr.Fields {
+			name, err := metricName(rr.Metrics[i])
+			if err != nil {
+				return "", err
+			}
+			parts[i] = fmt.Sprintf("%s@%d*%g", name, rr.Fields[i], rr.Weights[i])
+		}
+		return fmt.Sprintf("wavg(%s <= %g)", strings.Join(parts, " + "), rr.MaxDistance), nil
+	}
+	return "", fmt.Errorf("rulespec: cannot format rule type %T", r)
+}
+
+func metricName(m distance.Metric) (string, error) {
+	switch mm := m.(type) {
+	case distance.Jaccard:
+		return "jaccard", nil
+	case distance.Cosine:
+		return "cosine", nil
+	case distance.Hamming:
+		return "hamming", nil
+	case distance.Euclidean:
+		if mm.BucketFraction != 0 {
+			return fmt.Sprintf("l2(%g,%g)", mm.Scale, mm.BucketFraction), nil
+		}
+		return fmt.Sprintf("l2(%g)", mm.Scale), nil
+	}
+	return "", fmt.Errorf("rulespec: cannot format metric %T", m)
+}
+
+// Parse converts a rule expression into a distance.Rule.
+func Parse(s string) (distance.Rule, error) {
+	p := &parser{input: s}
+	r, err := p.parseRule()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.input) {
+		return nil, fmt.Errorf("rulespec: trailing input at offset %d: %q", p.pos, p.input[p.pos:])
+	}
+	return r, nil
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("rulespec: offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.input) && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// peekWord reads the next identifier without consuming it.
+func (p *parser) peekWord() string {
+	p.skipSpace()
+	end := p.pos
+	for end < len(p.input) && (isAlpha(p.input[end])) {
+		end++
+	}
+	return p.input[p.pos:end]
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+
+func (p *parser) expect(tok string) error {
+	p.skipSpace()
+	if !strings.HasPrefix(p.input[p.pos:], tok) {
+		return p.errf("expected %q", tok)
+	}
+	p.pos += len(tok)
+	return nil
+}
+
+func (p *parser) parseRule() (distance.Rule, error) {
+	switch w := p.peekWord(); w {
+	case "and", "or":
+		p.pos += len(w)
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var subs []distance.Rule
+		for {
+			sub, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+			p.skipSpace()
+			if p.pos < len(p.input) && p.input[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if len(subs) < 2 {
+			return nil, p.errf("%s() needs at least two sub-rules", w)
+		}
+		if w == "and" {
+			return distance.And(subs), nil
+		}
+		return distance.Or(subs), nil
+	case "wavg":
+		p.pos += len(w)
+		return p.parseWavg()
+	case "jaccard", "cosine", "hamming", "l":
+		return p.parseThreshold()
+	case "":
+		return nil, p.errf("expected a rule")
+	default:
+		return nil, p.errf("unknown rule head %q", w)
+	}
+}
+
+func (p *parser) parseMetricField() (distance.Metric, int, error) {
+	w := p.peekWord()
+	var m distance.Metric
+	switch w {
+	case "jaccard":
+		m = distance.Jaccard{}
+		p.pos += len(w)
+	case "cosine":
+		m = distance.Cosine{}
+		p.pos += len(w)
+	case "hamming":
+		m = distance.Hamming{}
+		p.pos += len(w)
+	case "l":
+		// l2(scale[,bucketFraction]) — scaled Euclidean.
+		if err := p.expect("l2("); err != nil {
+			return nil, 0, err
+		}
+		scale, err := p.parseFloat()
+		if err != nil {
+			return nil, 0, err
+		}
+		if scale <= 0 {
+			return nil, 0, p.errf("l2 scale must be positive, got %g", scale)
+		}
+		eu := distance.Euclidean{Scale: scale}
+		p.skipSpace()
+		if p.pos < len(p.input) && p.input[p.pos] == ',' {
+			p.pos++
+			bucket, err := p.parseFloat()
+			if err != nil {
+				return nil, 0, err
+			}
+			if bucket <= 0 {
+				return nil, 0, p.errf("l2 bucket fraction must be positive, got %g", bucket)
+			}
+			eu.BucketFraction = bucket
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, 0, err
+		}
+		m = eu
+	default:
+		return nil, 0, p.errf("unknown metric %q (want jaccard, cosine, hamming or l2(scale))", w)
+	}
+	if err := p.expect("@"); err != nil {
+		return nil, 0, err
+	}
+	field, err := p.parseInt()
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, field, nil
+}
+
+func (p *parser) parseThreshold() (distance.Rule, error) {
+	m, field, err := p.parseMetricField()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("<="); err != nil {
+		return nil, err
+	}
+	thr, err := p.parseFloat()
+	if err != nil {
+		return nil, err
+	}
+	return distance.Threshold{Field: field, Metric: m, MaxDistance: thr}, nil
+}
+
+func (p *parser) parseWavg() (distance.Rule, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	rule := distance.WeightedAverage{}
+	for {
+		m, field, err := p.parseMetricField()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("*"); err != nil {
+			return nil, err
+		}
+		weight, err := p.parseFloat()
+		if err != nil {
+			return nil, err
+		}
+		rule.Fields = append(rule.Fields, field)
+		rule.Metrics = append(rule.Metrics, m)
+		rule.Weights = append(rule.Weights, weight)
+		p.skipSpace()
+		if p.pos < len(p.input) && p.input[p.pos] == '+' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect("<="); err != nil {
+		return nil, err
+	}
+	thr, err := p.parseFloat()
+	if err != nil {
+		return nil, err
+	}
+	rule.MaxDistance = thr
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	return rule, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	p.skipSpace()
+	end := p.pos
+	for end < len(p.input) && p.input[end] >= '0' && p.input[end] <= '9' {
+		end++
+	}
+	if end == p.pos {
+		return 0, p.errf("expected an integer")
+	}
+	v, err := strconv.Atoi(p.input[p.pos:end])
+	if err != nil {
+		return 0, p.errf("bad integer: %v", err)
+	}
+	p.pos = end
+	return v, nil
+}
+
+func (p *parser) parseFloat() (float64, error) {
+	p.skipSpace()
+	end := p.pos
+	for end < len(p.input) && (p.input[end] >= '0' && p.input[end] <= '9' || p.input[end] == '.' || p.input[end] == 'e' || p.input[end] == '-' || p.input[end] == '+') {
+		end++
+	}
+	if end == p.pos {
+		return 0, p.errf("expected a number")
+	}
+	v, err := strconv.ParseFloat(p.input[p.pos:end], 64)
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	p.pos = end
+	return v, nil
+}

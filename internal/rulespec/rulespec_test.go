@@ -1,0 +1,169 @@
+package rulespec
+
+import (
+	"math"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/distance"
+)
+
+func TestParseThreshold(t *testing.T) {
+	r, err := Parse("jaccard@0 <= 0.6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, ok := r.(distance.Threshold)
+	if !ok {
+		t.Fatalf("parsed %T", r)
+	}
+	if thr.Field != 0 || thr.MaxDistance != 0.6 || thr.Metric.Name() != "jaccard" {
+		t.Fatalf("parsed %+v", thr)
+	}
+}
+
+func TestParseCosine(t *testing.T) {
+	r, err := Parse("cosine@2<=0.0167")
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := r.(distance.Threshold)
+	if thr.Field != 2 || thr.Metric.Name() != "cosine" {
+		t.Fatalf("parsed %+v", thr)
+	}
+}
+
+func TestParseAndOr(t *testing.T) {
+	r, err := Parse("and(jaccard@0 <= 0.3, jaccard@1 <= 0.8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := r.(distance.And)
+	if !ok || len(and) != 2 {
+		t.Fatalf("parsed %T %v", r, r)
+	}
+	r, err = Parse("or(cosine@0 <= 0.1, jaccard@1 <= 0.5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or, ok := r.(distance.Or); !ok || len(or) != 2 {
+		t.Fatalf("parsed %T", r)
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	r, err := Parse("and(or(jaccard@0 <= 0.2, jaccard@1 <= 0.2), cosine@2 <= 0.05)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := r.(distance.And)
+	if _, ok := and[0].(distance.Or); !ok {
+		t.Fatalf("inner rule is %T", and[0])
+	}
+}
+
+func TestParseWavg(t *testing.T) {
+	r, err := Parse("wavg(jaccard@0*0.5 + jaccard@1*0.5 <= 0.3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := r.(distance.WeightedAverage)
+	if !ok {
+		t.Fatalf("parsed %T", r)
+	}
+	if len(w.Fields) != 2 || w.Fields[0] != 0 || w.Fields[1] != 1 {
+		t.Fatalf("fields %v", w.Fields)
+	}
+	if math.Abs(w.Weights[0]-0.5) > 1e-12 || w.MaxDistance != 0.3 {
+		t.Fatalf("parsed %+v", w)
+	}
+}
+
+func TestParseCoraRule(t *testing.T) {
+	r, err := Parse("and(wavg(jaccard@0*0.5 + jaccard@1*0.5 <= 0.3), jaccard@2 <= 0.8)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := r.(distance.And)
+	if _, ok := and[0].(distance.WeightedAverage); !ok {
+		t.Fatalf("first sub-rule is %T", and[0])
+	}
+	if _, ok := and[1].(distance.Threshold); !ok {
+		t.Fatalf("second sub-rule is %T", and[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"euclid@0 <= 0.5",
+		"jaccard@ <= 0.5",
+		"jaccard@0 0.5",
+		"jaccard@0 <= abc",
+		"and(jaccard@0 <= 0.5)",
+		"and(jaccard@0 <= 0.5, jaccard@1 <= 0.5",
+		"jaccard@0 <= 0.5 trailing",
+		"wavg(jaccard@0*0.7 + jaccard@1*0.7 <= 0.3)", // weights sum != 1
+		"wavg(jaccard@0*1.0 <= )",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	jac := distance.Threshold{Field: 0, Metric: distance.Jaccard{}, MaxDistance: 0.6}
+	cos := distance.Threshold{Field: 1, Metric: distance.Cosine{}, MaxDistance: 0.0167}
+	ham := distance.Threshold{Field: 2, Metric: distance.Hamming{}, MaxDistance: 0.1}
+	wavg := distance.WeightedAverage{
+		Fields:  []int{0, 1},
+		Metrics: []distance.Metric{distance.Jaccard{}, distance.Jaccard{}},
+		Weights: []float64{0.5, 0.5}, MaxDistance: 0.3,
+	}
+	l2 := distance.Threshold{Field: 3, Metric: distance.Euclidean{Scale: 5}, MaxDistance: 0.2}
+	l2b := distance.Threshold{Field: 3, Metric: distance.Euclidean{Scale: 5, BucketFraction: 0.5}, MaxDistance: 0.2}
+	for _, rule := range []distance.Rule{
+		jac, cos, ham, wavg, l2, l2b,
+		distance.And{wavg, jac},
+		distance.Or{jac, cos, ham},
+		distance.And{l2, jac},
+	} {
+		spec, err := Format(rule)
+		if err != nil {
+			t.Fatalf("Format(%v): %v", rule, err)
+		}
+		back, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(Format(%v)) = Parse(%q): %v", rule, spec, err)
+		}
+		spec2, err := Format(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec != spec2 {
+			t.Fatalf("round trip unstable: %q vs %q", spec, spec2)
+		}
+	}
+}
+
+func TestFormatErrors(t *testing.T) {
+	// Nested compounds format fine, but unknown rule types do not.
+	if _, err := Format(nil); err == nil {
+		t.Error("Format(nil) succeeded")
+	}
+}
+
+func TestParseWhitespaceInsensitive(t *testing.T) {
+	a, err := Parse("jaccard@0<=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("  jaccard@0   <=   0.5  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.(distance.Threshold) != b.(distance.Threshold) {
+		t.Fatal("whitespace changed the parse")
+	}
+}

@@ -1,0 +1,180 @@
+// Package shingle converts documents into the set-valued features the
+// Jaccard-based datasets use: word token sets, w-shingles, character
+// n-grams, and SpotSigs-style spot signatures (Theobald et al., SIGIR
+// 2008) — chains of non-stopword tokens anchored at stopword
+// antecedents, which are robust against boilerplate when detecting
+// near-duplicate web articles.
+package shingle
+
+import (
+	"strings"
+
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/textgen"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// Tokens hashes each token into a set (bag-of-words as a set).
+func Tokens(words []string) record.Set {
+	out := make([]uint64, len(words))
+	for i, w := range words {
+		out[i] = xhash.String(w)
+	}
+	return record.NewSet(out)
+}
+
+// Words builds the w-shingle set of a token sequence: every window of
+// w consecutive tokens, hashed. w must be >= 1; sequences shorter than
+// w yield a single shingle of the whole sequence.
+func Words(words []string, w int) record.Set {
+	if w < 1 {
+		panic("shingle: window < 1")
+	}
+	if len(words) == 0 {
+		return record.Set{}
+	}
+	if len(words) < w {
+		return record.NewSet([]uint64{hashJoin(words)})
+	}
+	out := make([]uint64, 0, len(words)-w+1)
+	for i := 0; i+w <= len(words); i++ {
+		out = append(out, hashJoin(words[i:i+w]))
+	}
+	return record.NewSet(out)
+}
+
+// Chars builds the character n-gram set of a string.
+func Chars(s string, n int) record.Set {
+	if n < 1 {
+		panic("shingle: n-gram size < 1")
+	}
+	if len(s) < n {
+		return record.NewSet([]uint64{xhash.String(s)})
+	}
+	out := make([]uint64, 0, len(s)-n+1)
+	for i := 0; i+n <= len(s); i++ {
+		out = append(out, xhash.String(s[i:i+n]))
+	}
+	return record.NewSet(out)
+}
+
+func hashJoin(words []string) uint64 {
+	h := xhash.CombineInit
+	for _, w := range words {
+		h = xhash.Combine(h, xhash.String(w))
+	}
+	return h
+}
+
+// SpotConfig parameterizes spot-signature extraction.
+type SpotConfig struct {
+	// Antecedents are the anchor words; nil means textgen.Stopwords.
+	Antecedents []string
+	// SpotDistance is the token gap between chain elements (the
+	// original paper's d); default 1 (adjacent non-stopwords).
+	SpotDistance int
+	// ChainLength is the number of non-stopword tokens per signature
+	// (the original paper's c); default 2.
+	ChainLength int
+}
+
+func (c SpotConfig) withDefaults() SpotConfig {
+	if c.Antecedents == nil {
+		c.Antecedents = textgen.Stopwords
+	}
+	if c.SpotDistance == 0 {
+		c.SpotDistance = 1
+	}
+	if c.ChainLength == 0 {
+		c.ChainLength = 2
+	}
+	return c
+}
+
+// SimHash computes a width-bit similarity-preserving fingerprint of a
+// token multiset (Charikar's simhash): each token votes, bit by bit,
+// with the bits of its hash; the fingerprint keeps the majority signs.
+// Fingerprints of documents with mostly-shared tokens are close in
+// Hamming distance. Width must be positive; widths beyond 64 use
+// additional independent hash lanes per token.
+func SimHash(tokens []string, width int) record.Bits {
+	if width < 1 {
+		panic("shingle: simhash width < 1")
+	}
+	votes := make([]int32, width)
+	for _, tok := range tokens {
+		base := xhash.String(tok)
+		for lane := 0; lane*64 < width; lane++ {
+			h := base
+			if lane > 0 {
+				h = xhash.SplitMix64(base + uint64(lane)*0x9e3779b97f4a7c15)
+			}
+			hi := (lane + 1) * 64
+			if hi > width {
+				hi = width
+			}
+			for b := lane * 64; b < hi; b++ {
+				if h&1 == 1 {
+					votes[b]++
+				} else {
+					votes[b]--
+				}
+				h >>= 1
+			}
+		}
+	}
+	words := make([]uint64, (width+63)/64)
+	for b, v := range votes {
+		if v > 0 {
+			words[b/64] |= 1 << (b % 64)
+		}
+	}
+	return record.NewBits(words, width)
+}
+
+// Spots extracts the spot-signature set of a document: for every
+// occurrence of an antecedent, take the chain of the next ChainLength
+// non-antecedent tokens (stepping SpotDistance non-antecedent tokens at
+// a time) and hash antecedent+chain into one signature.
+func Spots(doc []string, cfg SpotConfig) record.Set {
+	cfg = cfg.withDefaults()
+	anteced := make(map[string]bool, len(cfg.Antecedents))
+	for _, a := range cfg.Antecedents {
+		anteced[a] = true
+	}
+	// Precompute positions of non-antecedent tokens for chain walking.
+	content := make([]int, 0, len(doc))
+	for i, w := range doc {
+		if !anteced[strings.ToLower(w)] {
+			content = append(content, i)
+		}
+	}
+	// nextContent[i] = index into content of the first content token at
+	// position > i.
+	var sigs []uint64
+	ci := 0
+	for i, w := range doc {
+		for ci < len(content) && content[ci] <= i {
+			ci++
+		}
+		if !anteced[strings.ToLower(w)] {
+			continue
+		}
+		// Build the chain starting at the first content token after i.
+		h := xhash.Combine(xhash.CombineInit, xhash.String(strings.ToLower(w)))
+		idx := ci
+		ok := true
+		for c := 0; c < cfg.ChainLength; c++ {
+			if idx >= len(content) {
+				ok = false
+				break
+			}
+			h = xhash.Combine(h, xhash.String(doc[content[idx]]))
+			idx += cfg.SpotDistance
+		}
+		if ok {
+			sigs = append(sigs, h)
+		}
+	}
+	return record.NewSet(sigs)
+}

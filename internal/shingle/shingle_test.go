@@ -1,0 +1,130 @@
+package shingle
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+func TestTokens(t *testing.T) {
+	s := Tokens([]string{"a", "b", "a"})
+	if len(s) != 2 {
+		t.Fatalf("len = %d, want 2 (dedup)", len(s))
+	}
+	if len(Tokens(nil)) != 0 {
+		t.Fatal("empty input should give empty set")
+	}
+	// Same tokens, same hashes.
+	a := Tokens([]string{"x", "y"})
+	b := Tokens([]string{"y", "x"})
+	if len(a) != len(b) || a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("token sets not order-insensitive")
+	}
+}
+
+func TestWordsShingles(t *testing.T) {
+	doc := []string{"a", "b", "c", "d"}
+	s := Words(doc, 2)
+	if len(s) != 3 {
+		t.Fatalf("len = %d, want 3 windows", len(s))
+	}
+	// Shorter than the window: one shingle of the whole sequence.
+	if got := Words([]string{"a"}, 3); len(got) != 1 {
+		t.Fatalf("short doc: %d shingles", len(got))
+	}
+	if len(Words(nil, 2)) != 0 {
+		t.Fatal("empty doc should give empty set")
+	}
+	// Overlap behaves like w-shingling: shifting by one shares w-1
+	// of the windows... here just check shared shingles exist.
+	s2 := Words([]string{"b", "c", "d", "e"}, 2)
+	shared := 0
+	for _, x := range s {
+		if s2.Contains(uint64(x)) {
+			shared++
+		}
+	}
+	if shared != 2 { // "b c" and "c d"
+		t.Fatalf("shared shingles = %d, want 2", shared)
+	}
+}
+
+func TestWordsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on w < 1")
+		}
+	}()
+	Words([]string{"a"}, 0)
+}
+
+func TestChars(t *testing.T) {
+	s := Chars("abcd", 3)
+	if len(s) != 2 { // abc, bcd
+		t.Fatalf("len = %d", len(s))
+	}
+	if got := Chars("ab", 3); len(got) != 1 {
+		t.Fatalf("short string: %d grams", len(got))
+	}
+}
+
+func TestSpotsExtraction(t *testing.T) {
+	// With antecedent "the", distance 1, chain 2: each "the" yields a
+	// signature of the next two content words.
+	doc := []string{"the", "quick", "fox", "jumped", "over", "the", "lazy", "dog"}
+	cfg := SpotConfig{Antecedents: []string{"the"}, SpotDistance: 1, ChainLength: 2}
+	s := Spots(doc, cfg)
+	// Signatures: (the, quick, fox) and (the, lazy, dog).
+	if len(s) != 2 {
+		t.Fatalf("got %d signatures, want 2", len(s))
+	}
+	// A doc sharing one chain shares one signature.
+	doc2 := []string{"the", "lazy", "dog", "slept"}
+	s2 := Spots(doc2, cfg)
+	if len(s2) != 1 {
+		t.Fatalf("got %d signatures, want 1", len(s2))
+	}
+	shared := 0
+	for _, sig := range s2 {
+		if s.Contains(uint64(sig)) {
+			shared++
+		}
+	}
+	if shared != 1 {
+		t.Fatalf("shared = %d, want 1", shared)
+	}
+}
+
+func TestSpotsChainTooShort(t *testing.T) {
+	// An antecedent with fewer than ChainLength content words after it
+	// yields no signature.
+	doc := []string{"content", "the", "tail"}
+	s := Spots(doc, SpotConfig{Antecedents: []string{"the"}, ChainLength: 2})
+	if len(s) != 0 {
+		t.Fatalf("got %d signatures, want 0", len(s))
+	}
+}
+
+func TestSpotsSpotDistance(t *testing.T) {
+	// Distance 2 skips every other content word.
+	doc := []string{"the", "a1", "a2", "a3", "a4"}
+	d1 := Spots(doc, SpotConfig{Antecedents: []string{"the"}, SpotDistance: 1, ChainLength: 2})
+	d2 := Spots(doc, SpotConfig{Antecedents: []string{"the"}, SpotDistance: 2, ChainLength: 2})
+	if len(d1) != 1 || len(d2) != 1 {
+		t.Fatalf("sizes %d, %d", len(d1), len(d2))
+	}
+	if d1[0] == d2[0] {
+		t.Fatal("different spot distances should give different signatures")
+	}
+}
+
+func TestSpotsDefaultsAndCase(t *testing.T) {
+	// Default antecedents include "the" and matching is
+	// case-insensitive on the antecedent.
+	doc := []string{"The", "quick", "fox"}
+	s := Spots(doc, SpotConfig{})
+	if len(s) != 1 {
+		t.Fatalf("got %d signatures, want 1", len(s))
+	}
+	var _ record.Set = s
+}

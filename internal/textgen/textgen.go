@@ -1,0 +1,178 @@
+// Package textgen synthesizes the text corpora behind the Cora-like
+// and SpotSigs-like datasets: a deterministic pseudo-English
+// vocabulary, Zipf-weighted word sampling, article composition, and the
+// perturbation operators (typos, drops, substitutions, abbreviations)
+// that turn one base document into a cluster of near-duplicates.
+package textgen
+
+import (
+	"strings"
+
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// Stopwords are the high-frequency function words interleaved into
+// generated articles. They double as the spot-signature antecedents
+// (the SpotSigs construction anchors signatures at stopwords).
+var Stopwords = []string{
+	"the", "a", "an", "is", "was", "are", "were", "of", "to", "in",
+	"on", "for", "with", "that", "this", "it", "as", "at", "by", "from",
+}
+
+var (
+	onsets  = []string{"b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "l", "m", "n", "p", "pl", "pr", "r", "s", "sh", "sl", "st", "t", "th", "tr", "v", "w", "z"}
+	nuclei  = []string{"a", "e", "i", "o", "u", "ai", "ea", "ee", "io", "ou"}
+	codas   = []string{"", "", "l", "m", "n", "nd", "r", "rt", "s", "st", "t", "ck", "ng"}
+	letters = "abcdefghijklmnopqrstuvwxyz"
+)
+
+// Vocabulary is a fixed set of pseudo-words with Zipf sampling weights.
+type Vocabulary struct {
+	words   []string
+	cumProb []float64
+}
+
+// NewVocabulary generates n distinct pseudo-words deterministically
+// from the seed, with Zipf(1.0) sampling weights over a random word
+// order (so frequent words differ across vocabularies).
+func NewVocabulary(n int, seed uint64) *Vocabulary {
+	rng := xhash.NewRNG(seed)
+	seen := make(map[string]bool, n)
+	words := make([]string, 0, n)
+	for len(words) < n {
+		w := pseudoWord(rng)
+		if !seen[w] {
+			seen[w] = true
+			words = append(words, w)
+		}
+	}
+	v := &Vocabulary{words: words, cumProb: make([]float64, n)}
+	total := 0.0
+	for i := range v.cumProb {
+		total += 1 / float64(i+1)
+		v.cumProb[i] = total
+	}
+	for i := range v.cumProb {
+		v.cumProb[i] /= total
+	}
+	return v
+}
+
+// pseudoWord draws a 2-3 syllable word.
+func pseudoWord(rng *xhash.RNG) string {
+	var sb strings.Builder
+	syllables := 2 + rng.Intn(2)
+	for s := 0; s < syllables; s++ {
+		sb.WriteString(onsets[rng.Intn(len(onsets))])
+		sb.WriteString(nuclei[rng.Intn(len(nuclei))])
+		sb.WriteString(codas[rng.Intn(len(codas))])
+	}
+	return sb.String()
+}
+
+// Len reports the vocabulary size.
+func (v *Vocabulary) Len() int { return len(v.words) }
+
+// Word returns word i.
+func (v *Vocabulary) Word(i int) string { return v.words[i] }
+
+// Sample draws a Zipf-weighted word.
+func (v *Vocabulary) Sample(rng *xhash.RNG) string {
+	u := rng.Float64()
+	lo, hi := 0, len(v.cumProb)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.cumProb[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return v.words[lo]
+}
+
+// SampleUniform draws a uniform word (used for distinctive content like
+// titles, where Zipf head words would blur entities together).
+func (v *Vocabulary) SampleUniform(rng *xhash.RNG) string {
+	return v.words[rng.Intn(len(v.words))]
+}
+
+// Article composes a document of roughly n content words, interleaving
+// stopwords with probability stopRate so spot signatures have anchors.
+func (v *Vocabulary) Article(rng *xhash.RNG, n int, stopRate float64) []string {
+	doc := make([]string, 0, n+n/2)
+	for len(doc) < n {
+		if rng.Float64() < stopRate {
+			doc = append(doc, Stopwords[rng.Intn(len(Stopwords))])
+		}
+		doc = append(doc, v.Sample(rng))
+	}
+	return doc
+}
+
+// Words composes a sequence of uniformly drawn distinct-ish words
+// (titles, author-ish tokens).
+func (v *Vocabulary) Words(rng *xhash.RNG, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = v.SampleUniform(rng)
+	}
+	return out
+}
+
+// Typo corrupts one character of the word (substitution). Words of
+// length <= 1 are returned unchanged.
+func Typo(rng *xhash.RNG, w string) string {
+	if len(w) <= 1 {
+		return w
+	}
+	b := []byte(w)
+	b[rng.Intn(len(b))] = letters[rng.Intn(len(letters))]
+	return string(b)
+}
+
+// PerturbWords returns a copy of words where each word is independently
+// dropped with probability pDrop and typo-corrupted with probability
+// pTypo.
+func PerturbWords(rng *xhash.RNG, words []string, pDrop, pTypo float64) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if rng.Float64() < pDrop {
+			continue
+		}
+		if rng.Float64() < pTypo {
+			w = Typo(rng, w)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// EditArticle derives a near-duplicate of doc, the SpotSigs-style
+// process: delete a contiguous chunk (fraction chunk of the document)
+// with probability pChunk, then apply per-word substitution noise
+// pSub from the vocabulary, and append extra boilerplate words.
+func (v *Vocabulary) EditArticle(rng *xhash.RNG, doc []string, pChunk, chunk, pSub float64, boiler int) []string {
+	out := make([]string, 0, len(doc)+boiler)
+	out = append(out, doc...)
+	if rng.Float64() < pChunk && len(out) > 10 {
+		sz := int(float64(len(out)) * chunk)
+		if sz < 1 {
+			sz = 1
+		}
+		start := rng.Intn(len(out) - sz)
+		out = append(out[:start], out[start+sz:]...)
+	}
+	for i := range out {
+		if rng.Float64() < pSub {
+			out[i] = v.Sample(rng)
+		}
+	}
+	for i := 0; i < boiler; i++ {
+		if rng.Float64() < 0.3 {
+			out = append(out, Stopwords[rng.Intn(len(Stopwords))])
+		}
+		out = append(out, v.Sample(rng))
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package textgen
+
+import (
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+func TestVocabularyDistinctWords(t *testing.T) {
+	v := NewVocabulary(500, 1)
+	if v.Len() != 500 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	seen := make(map[string]bool)
+	for i := 0; i < v.Len(); i++ {
+		w := v.Word(i)
+		if w == "" || seen[w] {
+			t.Fatalf("word %d = %q duplicate or empty", i, w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestVocabularyDeterministic(t *testing.T) {
+	a := NewVocabulary(100, 9)
+	b := NewVocabulary(100, 9)
+	for i := 0; i < 100; i++ {
+		if a.Word(i) != b.Word(i) {
+			t.Fatalf("same-seed vocabularies differ at %d", i)
+		}
+	}
+}
+
+func TestSampleZipfSkew(t *testing.T) {
+	v := NewVocabulary(1000, 3)
+	rng := xhash.NewRNG(5)
+	counts := make(map[string]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[v.Sample(rng)]++
+	}
+	// The most frequent word should be far above uniform (n/1000 = 20).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 200 {
+		t.Errorf("head word count %d; sampling not Zipf-skewed", max)
+	}
+}
+
+func TestArticleComposition(t *testing.T) {
+	v := NewVocabulary(1000, 7)
+	rng := xhash.NewRNG(1)
+	doc := v.Article(rng, 200, 0.3)
+	if len(doc) < 200 {
+		t.Fatalf("article has %d words, want >= 200", len(doc))
+	}
+	stops := 0
+	stopSet := make(map[string]bool)
+	for _, s := range Stopwords {
+		stopSet[s] = true
+	}
+	for _, w := range doc {
+		if stopSet[w] {
+			stops++
+		}
+	}
+	if stops == 0 {
+		t.Error("article contains no stopwords; spot signatures would be empty")
+	}
+}
+
+func TestTypo(t *testing.T) {
+	rng := xhash.NewRNG(2)
+	if Typo(rng, "x") != "x" {
+		t.Error("single-char word should be unchanged")
+	}
+	w := "abcdef"
+	changed := 0
+	for i := 0; i < 50; i++ {
+		got := Typo(rng, w)
+		if len(got) != len(w) {
+			t.Fatalf("typo changed length: %q", got)
+		}
+		if got != w {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("typo never changed the word")
+	}
+}
+
+func TestPerturbWords(t *testing.T) {
+	rng := xhash.NewRNG(3)
+	words := make([]string, 1000)
+	for i := range words {
+		words[i] = "word"
+	}
+	out := PerturbWords(rng, words, 0.2, 0)
+	if len(out) < 700 || len(out) > 900 {
+		t.Errorf("dropped to %d of 1000 with pDrop=0.2", len(out))
+	}
+	// pDrop 0, pTypo 0: identity.
+	same := PerturbWords(rng, []string{"a", "b"}, 0, 0)
+	if len(same) != 2 || same[0] != "a" || same[1] != "b" {
+		t.Errorf("identity perturbation changed input: %v", same)
+	}
+}
+
+func TestEditArticle(t *testing.T) {
+	v := NewVocabulary(500, 11)
+	rng := xhash.NewRNG(4)
+	doc := v.Article(rng, 300, 0.3)
+	// Always-chunk with 20% removal plus 10 boilerplate words.
+	out := v.EditArticle(rng, doc, 1.0, 0.2, 0, 10)
+	if len(out) >= len(doc)+10 {
+		t.Errorf("chunk deletion did not shrink: %d vs %d", len(out), len(doc))
+	}
+	if len(out) < len(doc)/2 {
+		t.Errorf("edit destroyed the article: %d of %d words", len(out), len(doc))
+	}
+	// The original is never mutated.
+	doc2 := v.Article(xhash.NewRNG(4), 300, 0.3)
+	_ = doc2
+	before := append([]string(nil), doc...)
+	v.EditArticle(rng, doc, 1.0, 0.3, 0.5, 5)
+	for i := range doc {
+		if doc[i] != before[i] {
+			t.Fatal("EditArticle mutated its input")
+		}
+	}
+}
+
+func TestSampleUniformInRange(t *testing.T) {
+	v := NewVocabulary(50, 13)
+	rng := xhash.NewRNG(6)
+	for i := 0; i < 100; i++ {
+		w := v.SampleUniform(rng)
+		found := false
+		for j := 0; j < v.Len(); j++ {
+			if v.Word(j) == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("sampled word %q not in vocabulary", w)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package wzopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// andGridN is the per-axis resolution of the double integral in the
+// AND-rule objective (Program 4). 96x96 keeps a solve under a few
+// milliseconds per candidate set while staying well within the
+// accuracy needed to rank candidates.
+const andGridN = 96
+
+// AndProblem is a two-field instance of Programs 4-6 (Appendix C.1):
+// pick w functions of field 1 and u functions of field 2 per table, and
+// z tables, with (w+u)*z = budget, so that pairs satisfying BOTH field
+// thresholds collide with probability >= 1-eps.
+type AndProblem struct {
+	// P1, P2 are the base collision probabilities of the two fields.
+	P1, P2 func(x float64) float64
+	// DThr1, DThr2 are the per-field distance thresholds.
+	DThr1, DThr2 float64
+	// Epsilon is the threshold-constraint slack.
+	Epsilon float64
+	// Budget is the total number of hash functions, (w+u)*z.
+	Budget int
+	// MinW, MinU, MinZ enforce sequence monotonicity (Appendix C.1's
+	// w' >= w, u' >= u constraints).
+	MinW, MinU, MinZ int
+}
+
+// AndScheme is a solved AND-rule allocation: z tables, each formed from
+// w field-1 functions and u field-2 functions.
+type AndScheme struct {
+	W, U, Z   int
+	Budget    int
+	Objective float64
+}
+
+// String implements fmt.Stringer.
+func (s AndScheme) String() string {
+	return fmt.Sprintf("(w=%d,u=%d,z=%d)", s.W, s.U, s.Z)
+}
+
+// Prob returns the scheme's collision probability for a pair with base
+// collision probabilities p1 and p2 on the two fields.
+func (s AndScheme) Prob(p1, p2 float64) float64 {
+	return 1 - math.Pow(1-math.Pow(p1, float64(s.W))*math.Pow(p2, float64(s.U)), float64(s.Z))
+}
+
+// SolveAnd finds the feasible AND scheme minimizing the Program 4
+// double integral. The search iterates over divisors z of the budget,
+// prunes each (w, u = budget/z - w) pair with the O(1) threshold
+// constraint, and evaluates the double integral only for feasible
+// candidates.
+func SolveAnd(pr AndProblem) (AndScheme, error) {
+	if pr.Budget < 2 {
+		return AndScheme{}, fmt.Errorf("wzopt: AND budget %d < 2", pr.Budget)
+	}
+	g1 := andProbGrid(pr.P1)
+	g2 := andProbGrid(pr.P2)
+	pt1, pt2 := pr.P1(pr.DThr1), pr.P2(pr.DThr2)
+
+	best := AndScheme{}
+	bestObj := math.Inf(1)
+	found := false
+	for z := max(1, pr.MinZ); z <= pr.Budget/2; z++ {
+		if pr.Budget%z != 0 {
+			continue
+		}
+		total := pr.Budget / z
+		for w := max(1, pr.MinW); w < total; w++ {
+			u := total - w
+			if u < max(1, pr.MinU) {
+				break
+			}
+			cand := AndScheme{W: w, U: u, Z: z, Budget: pr.Budget}
+			if cand.Prob(pt1, pt2) < 1-pr.Epsilon {
+				continue
+			}
+			cand.Objective = andObjective(g1, g2, cand)
+			if cand.Objective < bestObj {
+				best, bestObj, found = cand, cand.Objective, true
+			}
+		}
+	}
+	if !found {
+		return AndScheme{}, fmt.Errorf("%w: AND budget=%d eps=%g", ErrInfeasible, pr.Budget, pr.Epsilon)
+	}
+	return best, nil
+}
+
+// SolveAndRelaxed behaves like SolveAnd but falls back to the candidate
+// maximizing the threshold-point collision probability when the
+// constraint is infeasible within the budget.
+func SolveAndRelaxed(pr AndProblem) (AndScheme, error) {
+	if s, err := SolveAnd(pr); err == nil {
+		return s, nil
+	} else if !errors.Is(err, ErrInfeasible) {
+		return AndScheme{}, err
+	}
+	pt1, pt2 := pr.P1(pr.DThr1), pr.P2(pr.DThr2)
+	best := AndScheme{}
+	bestProb := -1.0
+	found := false
+	for z := max(1, pr.MinZ); z <= pr.Budget/2; z++ {
+		if pr.Budget%z != 0 {
+			continue
+		}
+		total := pr.Budget / z
+		for w := max(1, pr.MinW); w < total; w++ {
+			u := total - w
+			if u < max(1, pr.MinU) {
+				break
+			}
+			cand := AndScheme{W: w, U: u, Z: z, Budget: pr.Budget}
+			if prob := cand.Prob(pt1, pt2); prob > bestProb {
+				best, bestProb, found = cand, prob, true
+			}
+		}
+	}
+	if !found {
+		return AndScheme{}, fmt.Errorf("%w: AND budget=%d minW=%d minU=%d minZ=%d (relaxed)",
+			ErrInfeasible, pr.Budget, pr.MinW, pr.MinU, pr.MinZ)
+	}
+	return best, nil
+}
+
+func andProbGrid(p func(float64) float64) []float64 {
+	g := make([]float64, andGridN+1)
+	for i := range g {
+		g[i] = p(float64(i) / andGridN)
+	}
+	return g
+}
+
+// andObjective evaluates the Program 4 double integral with a 2-D
+// trapezoid rule over the precomputed per-axis probability grids.
+func andObjective(g1, g2 []float64, s AndScheme) float64 {
+	// Precompute p^w and p^u rows to keep the inner loop pow-free.
+	a := make([]float64, len(g1))
+	for i, p := range g1 {
+		a[i] = math.Pow(p, float64(s.W))
+	}
+	b := make([]float64, len(g2))
+	for j, p := range g2 {
+		b[j] = math.Pow(p, float64(s.U))
+	}
+	zf := float64(s.Z)
+	sum := 0.0
+	for i := range a {
+		wi := 1.0
+		if i == 0 || i == len(a)-1 {
+			wi = 0.5
+		}
+		rowSum := 0.0
+		for j := range b {
+			wj := 1.0
+			if j == 0 || j == len(b)-1 {
+				wj = 0.5
+			}
+			rowSum += wj * (1 - math.Pow(1-a[i]*b[j], zf))
+		}
+		sum += wi * rowSum
+	}
+	return sum / (andGridN * andGridN)
+}
+
+// OrProblem is a two-field instance of Programs 7-10 (Appendix C.2):
+// dedicate z tables of w functions to field 1 and v tables of u
+// functions to field 2, with w*z + u*v = budget, such that EACH field's
+// sub-scheme alone satisfies its threshold constraint.
+type OrProblem struct {
+	P1, P2       func(x float64) float64
+	DThr1, DThr2 float64
+	Epsilon      float64
+	Budget       int
+	// Minimum sub-scheme parameters for sequence monotonicity.
+	MinW, MinZ, MinU, MinV int
+}
+
+// OrScheme is a solved OR-rule allocation.
+type OrScheme struct {
+	// Field1 is the (w, z) sub-scheme on field 1, Field2 the (u, v)
+	// sub-scheme on field 2.
+	Field1, Field2 Scheme
+	Budget         int
+	Objective      float64
+}
+
+// String implements fmt.Stringer.
+func (s OrScheme) String() string {
+	return fmt.Sprintf("or[%s | %s]", s.Field1, s.Field2)
+}
+
+// Prob returns the scheme collision probability for base probabilities
+// p1, p2 on the two fields.
+func (s OrScheme) Prob(p1, p2 float64) float64 {
+	return 1 - (1-s.Field1.Prob(p1))*(1-s.Field2.Prob(p2))
+}
+
+// SolveOr finds the OR scheme minimizing the Program 7 objective.
+//
+// The double-integral objective factorizes: with g_i the per-field
+// non-collision probability curve, the objective equals
+// 1 - Integral(g1)*Integral(g2), and Integral(g_i) = 1 - O_i where O_i
+// is field i's single-field Program 1 objective. SolveOr therefore
+// searches over budget splits and solves two single-field programs per
+// split, which is exact and far cheaper than a four-parameter scan.
+func SolveOr(pr OrProblem) (OrScheme, error) {
+	if pr.Budget < 2 {
+		return OrScheme{}, fmt.Errorf("wzopt: OR budget %d < 2", pr.Budget)
+	}
+	// Budget splits to try: all would be O(budget) solves; instead step
+	// so that at most 256 splits are examined, which brackets the
+	// optimum to well under 1% of the budget.
+	step := pr.Budget / 256
+	if step < 1 {
+		step = 1
+	}
+	best := OrScheme{}
+	bestObj := math.Inf(1)
+	found := false
+	for b1 := step; b1 < pr.Budget; b1 += step {
+		s1, err1 := Solve(Problem{P: pr.P1, DThr: pr.DThr1, Epsilon: pr.Epsilon, Budget: b1, MinW: pr.MinW, MinZ: pr.MinZ})
+		if err1 != nil {
+			continue
+		}
+		s2, err2 := Solve(Problem{P: pr.P2, DThr: pr.DThr2, Epsilon: pr.Epsilon, Budget: pr.Budget - b1, MinW: pr.MinU, MinZ: pr.MinV})
+		if err2 != nil {
+			continue
+		}
+		// Objective = 1 - (1-O1)(1-O2).
+		obj := 1 - (1-s1.Objective)*(1-s2.Objective)
+		if obj < bestObj {
+			best = OrScheme{Field1: s1, Field2: s2, Budget: pr.Budget, Objective: obj}
+			bestObj = obj
+			found = true
+		}
+	}
+	if !found {
+		return OrScheme{}, fmt.Errorf("%w: OR budget=%d eps=%g", ErrInfeasible, pr.Budget, pr.Epsilon)
+	}
+	return best, nil
+}

@@ -1,0 +1,159 @@
+package wzopt
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSolveAndSatisfiesConstraints(t *testing.T) {
+	pr := AndProblem{
+		P1: linP, P2: linP,
+		DThr1: 0.3, DThr2: 0.8,
+		Epsilon: 0.001, Budget: 320,
+	}
+	s, err := SolveAnd(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (s.W+s.U)*s.Z != pr.Budget {
+		t.Errorf("budget violated: %v", s)
+	}
+	if prob := s.Prob(linP(pr.DThr1), linP(pr.DThr2)); prob < 1-pr.Epsilon {
+		t.Errorf("threshold prob %v < %v", prob, 1-pr.Epsilon)
+	}
+}
+
+func TestSolveAndOptimalAmongFeasible(t *testing.T) {
+	pr := AndProblem{
+		P1: linP, P2: linP,
+		DThr1: 0.2, DThr2: 0.5,
+		Epsilon: 0.01, Budget: 64,
+	}
+	best, err := SolveAnd(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := linP(pr.DThr1), linP(pr.DThr2)
+	for z := 1; z <= pr.Budget/2; z++ {
+		if pr.Budget%z != 0 {
+			continue
+		}
+		total := pr.Budget / z
+		for w := 1; w < total; w++ {
+			cand := AndScheme{W: w, U: total - w, Z: z, Budget: pr.Budget}
+			if cand.Prob(p1, p2) < 1-pr.Epsilon {
+				continue
+			}
+			if obj := fineAndObjective(cand); obj < fineAndObjective(best)-1e-9 {
+				t.Errorf("candidate %v (obj %.6f) beats solver's %v (obj %.6f)",
+					cand, obj, best, fineAndObjective(best))
+			}
+		}
+	}
+}
+
+func fineAndObjective(s AndScheme) float64 {
+	const n = 128
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		wi := 1.0
+		if i == 0 || i == n {
+			wi = 0.5
+		}
+		for j := 0; j <= n; j++ {
+			wj := 1.0
+			if j == 0 || j == n {
+				wj = 0.5
+			}
+			sum += wi * wj * s.Prob(linP(float64(i)/n), linP(float64(j)/n))
+		}
+	}
+	return sum / (n * n)
+}
+
+func TestSolveAndMinConstraints(t *testing.T) {
+	s, err := SolveAnd(AndProblem{
+		P1: linP, P2: linP, DThr1: 0.3, DThr2: 0.5,
+		Epsilon: 0.001, Budget: 640,
+		MinW: 3, MinU: 2, MinZ: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.W < 3 || s.U < 2 || s.Z < 8 {
+		t.Errorf("solution %v violates min constraints", s)
+	}
+}
+
+func TestSolveAndRelaxedFallback(t *testing.T) {
+	pr := AndProblem{
+		P1: linP, P2: linP, DThr1: 0.9, DThr2: 0.9,
+		Epsilon: 1e-9, Budget: 4,
+	}
+	if _, err := SolveAnd(pr); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	s, err := SolveAndRelaxed(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (s.W+s.U)*s.Z != pr.Budget {
+		t.Errorf("relaxed solution off budget: %v", s)
+	}
+}
+
+func TestSolveOrSeparability(t *testing.T) {
+	pr := OrProblem{
+		P1: linP, P2: linP,
+		DThr1: 0.2, DThr2: 0.4,
+		Epsilon: 0.001, Budget: 200,
+	}
+	s, err := SolveOr(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Field1.Budget + s.Field2.Budget; got > pr.Budget {
+		t.Errorf("sub-budgets sum to %d > %d", got, pr.Budget)
+	}
+	// Each sub-scheme independently satisfies its field's constraint.
+	if p := s.Field1.Prob(linP(pr.DThr1)); p < 1-pr.Epsilon {
+		t.Errorf("field1 constraint violated: %v", p)
+	}
+	if p := s.Field2.Prob(linP(pr.DThr2)); p < 1-pr.Epsilon {
+		t.Errorf("field2 constraint violated: %v", p)
+	}
+	// The factorized objective equals the direct double integral.
+	direct := fineOrObjective(s)
+	if math.Abs(direct-s.Objective) > 5e-3 {
+		t.Errorf("objective mismatch: solver %.5f, direct %.5f", s.Objective, direct)
+	}
+}
+
+func fineOrObjective(s OrScheme) float64 {
+	const n = 256
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		wi := 1.0
+		if i == 0 || i == n {
+			wi = 0.5
+		}
+		for j := 0; j <= n; j++ {
+			wj := 1.0
+			if j == 0 || j == n {
+				wj = 0.5
+			}
+			sum += wi * wj * s.Prob(linP(float64(i)/n), linP(float64(j)/n))
+		}
+	}
+	return sum / (n * n)
+}
+
+func TestSolveOrErrors(t *testing.T) {
+	if _, err := SolveOr(OrProblem{P1: linP, P2: linP, Budget: 1}); err == nil {
+		t.Error("accepted budget 1")
+	}
+	if _, err := SolveAnd(AndProblem{P1: linP, P2: linP, Budget: 1}); err == nil {
+		t.Error("accepted AND budget 1")
+	}
+}

@@ -1,0 +1,188 @@
+package wzopt
+
+import (
+	"math"
+	"testing"
+)
+
+func threeFields() []FieldSpec {
+	return []FieldSpec{
+		{P: linP, DThr: 0.3},
+		{P: linP, DThr: 0.4},
+		{P: linP, DThr: 0.5},
+	}
+}
+
+func TestSolveAndNConstraints(t *testing.T) {
+	pr := AndNProblem{Fields: threeFields(), Epsilon: 0.001, Budget: 960}
+	s, err := SolveAndN(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, w := range s.W {
+		if w < 1 {
+			t.Fatalf("w = %v", s.W)
+		}
+		total += w
+	}
+	if total*s.Z != pr.Budget {
+		t.Fatalf("budget: %d * %d != %d", total, s.Z, pr.Budget)
+	}
+	ps := make([]float64, 3)
+	for i, f := range pr.Fields {
+		ps[i] = f.P(f.DThr)
+	}
+	if prob := s.Prob(ps); prob < 1-pr.Epsilon {
+		t.Fatalf("threshold prob %v", prob)
+	}
+}
+
+func TestSolveAndNMatchesExactForTwoFields(t *testing.T) {
+	// For N=2 the hill-climbing solver should land close to the exact
+	// Programs 4-6 optimum.
+	fields := []FieldSpec{{P: linP, DThr: 0.3}, {P: linP, DThr: 0.5}}
+	exact, err := SolveAnd(AndProblem{
+		P1: fields[0].P, P2: fields[1].P, DThr1: fields[0].DThr, DThr2: fields[1].DThr,
+		Epsilon: 0.001, Budget: 320,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := SolveAndN(AndNProblem{Fields: fields, Epsilon: 0.001, Budget: 320})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare objective quality on a common fine grid.
+	exactObj := fineAndObjective(exact)
+	approxObj := fineAndObjective(AndScheme{W: approx.W[0], U: approx.W[1], Z: approx.Z, Budget: approx.Budget})
+	if approxObj > exactObj*1.25+1e-6 {
+		t.Fatalf("N-way objective %.5f much worse than exact %.5f", approxObj, exactObj)
+	}
+}
+
+func TestSolveAndNMinConstraints(t *testing.T) {
+	s, err := SolveAndN(AndNProblem{
+		Fields: threeFields(), Epsilon: 0.001, Budget: 1920,
+		MinW: []int{2, 2, 1}, MinZ: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.W[0] < 2 || s.W[1] < 2 || s.W[2] < 1 || s.Z < 4 {
+		t.Fatalf("solution %v violates min constraints", s)
+	}
+}
+
+func TestSolveAndNRelaxedFallback(t *testing.T) {
+	// Budget too small for a strict epsilon: the solver falls back to
+	// the best-effort allocation instead of failing.
+	s, err := SolveAndN(AndNProblem{Fields: threeFields(), Epsilon: 1e-9, Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, w := range s.W {
+		total += w
+	}
+	if total*s.Z != 6 {
+		t.Fatalf("fallback off budget: %v", s)
+	}
+}
+
+func TestSolveAndNErrors(t *testing.T) {
+	if _, err := SolveAndN(AndNProblem{Fields: threeFields()[:1], Budget: 10}); err == nil {
+		t.Error("accepted one field")
+	}
+	if _, err := SolveAndN(AndNProblem{Fields: threeFields(), Budget: 2}); err == nil {
+		t.Error("accepted budget < fields")
+	}
+	if _, err := SolveAndN(AndNProblem{Fields: threeFields(), Budget: 30, MinW: []int{1}}); err == nil {
+		t.Error("accepted mismatched MinW")
+	}
+}
+
+func TestSolveOrNConstraints(t *testing.T) {
+	pr := OrNProblem{Fields: threeFields(), Epsilon: 0.001, Budget: 600}
+	s, err := SolveOrN(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := 0
+	for i, sub := range s.Schemes {
+		used += sub.W*sub.Z + sub.WRem
+		if p := sub.Prob(pr.Fields[i].P(pr.Fields[i].DThr)); p < 1-pr.Epsilon {
+			t.Errorf("field %d constraint violated: %v", i, p)
+		}
+	}
+	if used > pr.Budget {
+		t.Fatalf("used %d > budget %d", used, pr.Budget)
+	}
+	// The combined probability dominates each sub-scheme's.
+	ps := []float64{0.7, 0.6, 0.5}
+	combined := s.Prob(ps)
+	for i, sub := range s.Schemes {
+		if combined < sub.Prob(ps[i])-1e-12 {
+			t.Errorf("OR prob %v below field %d prob %v", combined, i, sub.Prob(ps[i]))
+		}
+	}
+}
+
+func TestSolveOrNMatchesTwoWay(t *testing.T) {
+	fields := []FieldSpec{{P: linP, DThr: 0.2}, {P: linP, DThr: 0.4}}
+	exact, err := SolveOr(OrProblem{
+		P1: fields[0].P, P2: fields[1].P, DThr1: fields[0].DThr, DThr2: fields[1].DThr,
+		Epsilon: 0.001, Budget: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := SolveOrN(OrNProblem{Fields: fields, Epsilon: 0.001, Budget: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx.Objective-exact.Objective) > 0.05 {
+		t.Fatalf("OrN objective %.5f far from exact %.5f", approx.Objective, exact.Objective)
+	}
+}
+
+func TestSolveOrNSmallBudgetFallback(t *testing.T) {
+	s, err := SolveOrN(OrNProblem{Fields: threeFields(), Epsilon: 0.001, Budget: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Schemes) != 3 {
+		t.Fatalf("schemes = %d", len(s.Schemes))
+	}
+}
+
+func TestSolveOrNErrors(t *testing.T) {
+	if _, err := SolveOrN(OrNProblem{Fields: threeFields()[:1], Budget: 100}); err == nil {
+		t.Error("accepted one field")
+	}
+	if _, err := SolveOrN(OrNProblem{Fields: threeFields(), Budget: 3}); err == nil {
+		t.Error("accepted tiny budget")
+	}
+}
+
+func TestHaltonPointsInUnitCube(t *testing.T) {
+	pts := haltonPoints(500, 3)
+	if len(pts) != 500 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	var mean [3]float64
+	for _, p := range pts {
+		for d, x := range p {
+			if x < 0 || x >= 1 {
+				t.Fatalf("coordinate %v outside [0,1)", x)
+			}
+			mean[d] += x
+		}
+	}
+	for d := range mean {
+		mean[d] /= 500
+		if math.Abs(mean[d]-0.5) > 0.05 {
+			t.Errorf("dimension %d mean %v, want ~0.5 (low discrepancy)", d, mean[d])
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package wzopt solves the LSH scheme-design optimization programs of
+// the paper: Program 1-3 (Section 5.1) picks the number of hash
+// functions per table (w) and the number of tables (z) for a single
+// field given a total hash-function budget; Programs 4-6 and 7-10
+// (Appendix C) generalize to AND and OR rules over two or more fields.
+//
+// The objective is always the "area under the collision-probability
+// curve" — the probability of two records hashing to the same bucket,
+// integrated over all distances — which the solver minimizes subject to
+// (a) the budget constraint and (b) the distance-threshold constraint:
+// pairs within the threshold must collide with probability >= 1 - eps.
+package wzopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when no (w, z) allocation within the budget
+// satisfies the distance-threshold constraint.
+var ErrInfeasible = errors.New("wzopt: no feasible scheme within budget")
+
+// gridN is the number of panels used by the trapezoid integrations.
+const gridN = 512
+
+// Problem is a single-field instance of Program 1-3.
+type Problem struct {
+	// P is the base collision probability at normalized distance x
+	// (p(x) in the paper; 1-x for both hyperplanes and MinHash).
+	P func(x float64) float64
+	// DThr is the normalized distance threshold d_thr.
+	DThr float64
+	// Epsilon is the threshold-constraint slack: collision probability
+	// at DThr must be at least 1 - Epsilon.
+	Epsilon float64
+	// Budget is the total number of hash functions (w*z + remainder).
+	Budget int
+	// MinW and MinZ are lower bounds enforcing the sequence
+	// monotonicity requirement w_i <= w_{i+1}, z_i <= z_{i+1}
+	// (Section 4.1). Zero means unconstrained.
+	MinW, MinZ int
+	// AllowRemainder also considers w values that do not divide the
+	// budget, using the remainder-table extension of Section 5.1.
+	AllowRemainder bool
+}
+
+// Scheme is a solved (w, z) allocation. When WRem > 0 the scheme has an
+// extra table with WRem functions (remainder extension), and
+// W*Z + WRem == Budget; otherwise W*Z == Budget.
+type Scheme struct {
+	W, Z, WRem int
+	Budget     int
+	// Objective is the attained value of the Program 1 integral.
+	Objective float64
+}
+
+// Tables reports the number of hash tables, including the remainder
+// table if present.
+func (s Scheme) Tables() int {
+	if s.WRem > 0 {
+		return s.Z + 1
+	}
+	return s.Z
+}
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	if s.WRem > 0 {
+		return fmt.Sprintf("(w=%d,z=%d,+%d)", s.W, s.Z, s.WRem)
+	}
+	return fmt.Sprintf("(w=%d,z=%d)", s.W, s.Z)
+}
+
+// Prob returns the scheme's collision probability for a pair with base
+// collision probability p: 1-(1-p^w)^z, times the remainder factor.
+func (s Scheme) Prob(p float64) float64 {
+	q := math.Pow(1-math.Pow(p, float64(s.W)), float64(s.Z))
+	if s.WRem > 0 {
+		q *= 1 - math.Pow(p, float64(s.WRem))
+	}
+	return 1 - q
+}
+
+// Solve finds the feasible scheme minimizing the Program 1 objective.
+// Per the paper's observation, the objective decreases with w while the
+// threshold constraint eventually fails as w grows, so the optimum is
+// the largest feasible w; Solve nevertheless scans all candidates,
+// which is robust and cheap, and required once MinW/MinZ bounds bite.
+func Solve(pr Problem) (Scheme, error) {
+	if pr.Budget < 1 {
+		return Scheme{}, fmt.Errorf("wzopt: budget %d < 1", pr.Budget)
+	}
+	if pr.DThr < 0 || pr.DThr > 1 {
+		return Scheme{}, fmt.Errorf("wzopt: threshold %g outside [0,1]", pr.DThr)
+	}
+	// Precompute the base probability grid once; every candidate's
+	// objective is a trapezoid sum over pow() of this grid.
+	grid := probGrid(pr.P)
+	pThr := pr.P(pr.DThr)
+
+	best := Scheme{}
+	bestObj := math.Inf(1)
+	found := false
+	for w := max(1, pr.MinW); w <= pr.Budget; w++ {
+		z := pr.Budget / w
+		wrem := pr.Budget - w*z
+		if wrem != 0 && !pr.AllowRemainder {
+			continue
+		}
+		if z < max(1, pr.MinZ) {
+			break // z only shrinks as w grows
+		}
+		cand := Scheme{W: w, Z: z, WRem: wrem, Budget: pr.Budget}
+		if cand.Prob(pThr) < 1-pr.Epsilon {
+			continue
+		}
+		cand.Objective = objective(grid, cand)
+		if cand.Objective < bestObj {
+			best, bestObj, found = cand, cand.Objective, true
+		}
+	}
+	if !found {
+		return Scheme{}, fmt.Errorf("%w: budget=%d dthr=%g eps=%g minW=%d minZ=%d",
+			ErrInfeasible, pr.Budget, pr.DThr, pr.Epsilon, pr.MinW, pr.MinZ)
+	}
+	return best, nil
+}
+
+// SolveRelaxed behaves like Solve but, instead of failing when no
+// scheme meets the threshold constraint, falls back to the scheme with
+// the highest collision probability at the threshold (breaking ties on
+// the objective). Early, deliberately-cheap functions in an adaptive
+// sequence use this: they are allowed to be inaccurate.
+func SolveRelaxed(pr Problem) (Scheme, error) {
+	if s, err := Solve(pr); err == nil {
+		return s, nil
+	} else if !errors.Is(err, ErrInfeasible) {
+		return Scheme{}, err
+	}
+	grid := probGrid(pr.P)
+	pThr := pr.P(pr.DThr)
+	best := Scheme{}
+	bestProb := -1.0
+	bestObj := math.Inf(1)
+	found := false
+	for w := max(1, pr.MinW); w <= pr.Budget; w++ {
+		z := pr.Budget / w
+		wrem := pr.Budget - w*z
+		if wrem != 0 && !pr.AllowRemainder {
+			continue
+		}
+		if z < max(1, pr.MinZ) {
+			break
+		}
+		cand := Scheme{W: w, Z: z, WRem: wrem, Budget: pr.Budget}
+		prob := cand.Prob(pThr)
+		if prob < bestProb-1e-12 {
+			continue
+		}
+		obj := objective(grid, cand)
+		if prob > bestProb+1e-12 || obj < bestObj {
+			best, bestProb, bestObj, found = cand, prob, obj, true
+		}
+	}
+	if !found {
+		return Scheme{}, fmt.Errorf("%w: budget=%d minW=%d minZ=%d (relaxed)", ErrInfeasible, pr.Budget, pr.MinW, pr.MinZ)
+	}
+	return best, nil
+}
+
+// probGrid samples p(x) at gridN+1 equally spaced points on [0,1].
+func probGrid(p func(float64) float64) []float64 {
+	g := make([]float64, gridN+1)
+	for i := range g {
+		g[i] = p(float64(i) / gridN)
+	}
+	return g
+}
+
+// objective evaluates the Program 1 integral for a scheme by composite
+// trapezoid over the precomputed base-probability grid.
+func objective(grid []float64, s Scheme) float64 {
+	sum := 0.0
+	for i, p := range grid {
+		v := s.Prob(p)
+		if i == 0 || i == len(grid)-1 {
+			v /= 2
+		}
+		sum += v
+	}
+	return sum / gridN
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

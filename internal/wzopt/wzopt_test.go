@@ -1,0 +1,155 @@
+package wzopt
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func linP(x float64) float64 { return 1 - x }
+
+func TestSolveSatisfiesConstraints(t *testing.T) {
+	for _, budget := range []int{20, 80, 320, 1280, 2100} {
+		s, err := Solve(Problem{P: linP, DThr: 15.0 / 180, Epsilon: 0.001, Budget: budget})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if s.W*s.Z+s.WRem != budget {
+			t.Errorf("budget %d: w*z+rem = %d", budget, s.W*s.Z+s.WRem)
+		}
+		if prob := s.Prob(linP(15.0 / 180)); prob < 1-0.001 {
+			t.Errorf("budget %d: threshold prob %v < 0.999", budget, prob)
+		}
+	}
+}
+
+func TestSolveIsOptimalAmongFeasible(t *testing.T) {
+	pr := Problem{P: linP, DThr: 0.1, Epsilon: 0.001, Budget: 360}
+	best, err := Solve(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pThr := linP(pr.DThr)
+	// Exhaustive check over all divisor candidates.
+	for w := 1; w <= pr.Budget; w++ {
+		if pr.Budget%w != 0 {
+			continue
+		}
+		cand := Scheme{W: w, Z: pr.Budget / w, Budget: pr.Budget}
+		if cand.Prob(pThr) < 1-pr.Epsilon {
+			continue
+		}
+		// Compare objectives via a fine common grid.
+		if obj := fineObjective(cand); obj < fineObjective(best)-1e-9 {
+			t.Errorf("candidate %v (obj %.6f) beats solver's %v (obj %.6f)", cand, obj, best, fineObjective(best))
+		}
+	}
+}
+
+func fineObjective(s Scheme) float64 {
+	const n = 4096
+	sum := 0.0
+	for i := 0; i <= n; i++ {
+		v := s.Prob(linP(float64(i) / n))
+		if i == 0 || i == n {
+			v /= 2
+		}
+		sum += v
+	}
+	return sum / n
+}
+
+func TestSolveObjectiveDecreasesWithBudgetlessW(t *testing.T) {
+	// Within one budget, larger w gives a lower objective (Section
+	// 5.1's monotonicity observation).
+	prev := math.Inf(1)
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		obj := fineObjective(Scheme{W: w, Z: 16 / w * 10, Budget: 160})
+		if obj >= prev {
+			t.Errorf("w=%d: objective %v not below previous %v", w, obj, prev)
+		}
+		prev = obj
+	}
+}
+
+func TestSolveMinConstraints(t *testing.T) {
+	s, err := Solve(Problem{P: linP, DThr: 0.1, Epsilon: 0.001, Budget: 320, MinW: 4, MinZ: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.W < 4 || s.Z < 10 {
+		t.Errorf("solution %v violates min constraints", s)
+	}
+}
+
+func TestSolveRemainder(t *testing.T) {
+	// Budget 17 is prime: without remainder only (1,17) and (17,1)
+	// exist; with remainder every w is available.
+	withRem, err := Solve(Problem{P: linP, DThr: 0.1, Epsilon: 0.01, Budget: 17, AllowRemainder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRem.W*withRem.Z+withRem.WRem != 17 {
+		t.Errorf("remainder accounting wrong: %v", withRem)
+	}
+	noRem, err := Solve(Problem{P: linP, DThr: 0.1, Epsilon: 0.01, Budget: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noRem.WRem != 0 {
+		t.Errorf("divisor-only solve produced a remainder: %v", noRem)
+	}
+	if fineObjective(withRem) > fineObjective(noRem)+1e-9 {
+		t.Errorf("remainder mode should never be worse: %v vs %v", withRem, noRem)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// A huge threshold with strict epsilon and lots of functions per
+	// table is infeasible with a small budget.
+	_, err := Solve(Problem{P: linP, DThr: 0.9, Epsilon: 1e-9, Budget: 4, MinW: 4})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	// Relaxed solve falls back to a best-effort scheme.
+	s, err := SolveRelaxed(Problem{P: linP, DThr: 0.9, Epsilon: 1e-9, Budget: 4, MinW: 4})
+	if err != nil {
+		t.Fatalf("SolveRelaxed: %v", err)
+	}
+	if s.W != 4 || s.Z != 1 {
+		t.Errorf("relaxed solution %v, want (w=4,z=1)", s)
+	}
+}
+
+func TestSolveArgumentErrors(t *testing.T) {
+	if _, err := Solve(Problem{P: linP, Budget: 0}); err == nil {
+		t.Error("accepted zero budget")
+	}
+	if _, err := Solve(Problem{P: linP, DThr: 2, Budget: 8}); err == nil {
+		t.Error("accepted threshold > 1")
+	}
+}
+
+func TestSchemeProbMatchesFormula(t *testing.T) {
+	f := func(wRaw, zRaw uint8, pRaw float64) bool {
+		w := int(wRaw%10) + 1
+		z := int(zRaw%10) + 1
+		p := math.Abs(math.Mod(pRaw, 1))
+		s := Scheme{W: w, Z: z}
+		want := 1 - math.Pow(1-math.Pow(p, float64(w)), float64(z))
+		return math.Abs(s.Prob(p)-want) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTables(t *testing.T) {
+	if (Scheme{W: 3, Z: 5}).Tables() != 5 {
+		t.Error("Tables without remainder")
+	}
+	if (Scheme{W: 3, Z: 5, WRem: 2}).Tables() != 6 {
+		t.Error("Tables with remainder")
+	}
+}

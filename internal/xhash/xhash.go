@@ -1,0 +1,110 @@
+// Package xhash provides the small deterministic hashing and
+// pseudo-random primitives shared by the LSH families, the shinglers,
+// and the synthetic dataset generators. Everything here is pure and
+// seed-deterministic so that experiments are reproducible run to run.
+package xhash
+
+import "math"
+
+// SplitMix64 is the finalizer of the splitmix64 PRNG: a fast, high
+// quality 64-bit mixing function. It is used both to derive per-
+// function seeds and as the element hash inside MinHash.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Combine folds a new value into a running 64-bit hash (an FNV-1a
+// style combiner over 64-bit lanes). Use it to build bucket keys from
+// sequences of hash values.
+func Combine(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211 // FNV-64 prime
+	return h
+}
+
+// CombineInit is the seed for Combine chains (the FNV-64 offset basis).
+const CombineInit uint64 = 14695981039346656037
+
+// String hashes a string with FNV-1a (64-bit).
+func String(s string) uint64 {
+	h := CombineInit
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a
+// valid generator seeded with 0; prefer NewRNG for an explicit seed.
+type RNG struct {
+	state uint64
+	// Gaussian spare value cache for the Box-Muller transform.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator with the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xhash: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard-normal value (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	// Draw u in (0, 1] to keep the logarithm finite.
+	u := 1 - r.Float64()
+	v := r.Float64()
+	const tau = 2 * math.Pi
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.spare = mag * math.Sin(tau*v)
+	r.hasSpare = true
+	return mag * math.Cos(tau*v)
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly reorders n elements using the swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,192 @@
+// Package zipfian allocates entity sizes following the Zipf-like
+// distributions of the paper's datasets (Section 6.3): entity i gets a
+// share proportional to i^(-s), optionally calibrated so the head
+// matches target sizes (the PopularImages setting of Section 7.4.2).
+package zipfian
+
+import "math"
+
+// Sizes distributes n records over `entities` entities with sizes
+// proportional to rank^(-s) (rank starting at 1), each entity getting
+// at least one record. The result is sorted descending and sums to n.
+// It panics when n < entities or entities < 1.
+func Sizes(n, entities int, s float64) []int {
+	if entities < 1 {
+		panic("zipfian: entities < 1")
+	}
+	if n < entities {
+		panic("zipfian: fewer records than entities")
+	}
+	weights := make([]float64, entities)
+	total := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -s)
+		total += weights[i]
+	}
+	sizes := make([]int, entities)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(float64(n) * weights[i] / total)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		assigned += sizes[i]
+	}
+	// Fix rounding drift: trim from or add to the head, never dropping
+	// an entity below one record.
+	i := 0
+	for assigned > n {
+		if sizes[i%entities] > 1 {
+			sizes[i%entities]--
+			assigned--
+		}
+		i++
+	}
+	for assigned < n {
+		sizes[assigned%entities]++
+		assigned++
+	}
+	sortDesc(sizes)
+	return sizes
+}
+
+// SizesWithHead distributes n records over `entities` entities such
+// that the largest entity has exactly `top1` records and the rest
+// follow rank^(-s) within the remaining mass. This mirrors the
+// PopularImages datasets, where the paper reports specific top-1/2/3
+// sizes per Zipf exponent (Section 7.4.2). It panics when the head
+// cannot fit (top1 + (entities-1) > n) or arguments are degenerate.
+func SizesWithHead(n, entities, top1 int, s float64) []int {
+	if entities < 2 {
+		panic("zipfian: SizesWithHead needs >= 2 entities")
+	}
+	if top1 < 1 || top1+(entities-1) > n {
+		panic("zipfian: head does not fit")
+	}
+	if n > entities*top1 {
+		panic("zipfian: n records cannot fit under the head cap")
+	}
+	sizes := make([]int, entities)
+	sizes[0] = top1
+	// Lay out the tail with the same rank law, scaled to the leftover
+	// mass. Rank 1 of the tail is entity 2, i.e. weight 2^-s relative
+	// to the head's 1, so the head/second ratio still reflects s.
+	weights := make([]float64, entities-1)
+	total := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+2), -s)
+		total += weights[i]
+	}
+	left := n - top1
+	assigned := 0
+	for i := range weights {
+		sz := int(float64(left) * weights[i] / total)
+		if sz < 1 {
+			sz = 1
+		}
+		if sz > top1 {
+			sz = top1 // keep the head the head
+		}
+		sizes[i+1] = sz
+		assigned += sz
+	}
+	i := 1
+	for assigned > left {
+		if sizes[1+(i%(entities-1))] > 1 {
+			sizes[1+(i%(entities-1))]--
+			assigned--
+		}
+		i++
+	}
+	// Grow the tail round-robin, never past the head (feasibility is
+	// guaranteed by the n <= entities*top1 check above).
+	for assigned < left {
+		for j := 1; j < entities && assigned < left; j++ {
+			if sizes[j] < top1 {
+				sizes[j]++
+				assigned++
+			}
+		}
+	}
+	sortDesc(sizes)
+	return sizes
+}
+
+// SizesCalibrated distributes n records over `entities` entities with
+// sizes proportional to rank^(-s), where s is solved (by bisection) so
+// that the largest entity gets `top1` records. This reproduces the
+// PopularImages datasets, whose paper-reported head sizes (top-1 of
+// roughly 500/1000/1700 at nominal exponents 1.05/1.1/1.2) pin down
+// both the total and the head. It panics when no exponent can satisfy
+// the head (top1 out of [n/entities, n-entities+1]).
+func SizesCalibrated(n, entities, top1 int) []int {
+	if entities < 2 {
+		panic("zipfian: SizesCalibrated needs >= 2 entities")
+	}
+	if top1 < (n+entities-1)/entities || top1 > n-entities+1 {
+		panic("zipfian: top1 target out of range")
+	}
+	// H(s) = sum i^-s decreases in s; head share top1/n = 1/H(s).
+	target := float64(n) / float64(top1)
+	lo, hi := 0.0, 8.0
+	h := func(s float64) float64 {
+		t := 0.0
+		for i := 1; i <= entities; i++ {
+			t += math.Pow(float64(i), -s)
+		}
+		return t
+	}
+	for iter := 0; iter < 80; iter++ {
+		mid := (lo + hi) / 2
+		if h(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	s := (lo + hi) / 2
+	sizes := Sizes(n, entities, s)
+	// Nudge the head to the exact target, compensating in the tail.
+	delta := top1 - sizes[0]
+	sizes[0] = top1
+	i := 1
+	for delta > 0 { // head grew: shrink tail
+		if sizes[1+(i-1)%(entities-1)] > 1 {
+			sizes[1+(i-1)%(entities-1)]--
+			delta--
+		}
+		i++
+	}
+	for delta < 0 { // head shrank: grow tail, capped at the head
+		idx := 1 + (i-1)%(entities-1)
+		if sizes[idx] < top1 {
+			sizes[idx]++
+			delta++
+		}
+		i++
+	}
+	sortDesc(sizes)
+	return sizes
+}
+
+func sortDesc(s []int) {
+	// Insertion sort: the inputs are nearly sorted already and small.
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] < v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// Sum is a convenience that totals a size allocation.
+func Sum(sizes []int) int {
+	t := 0
+	for _, s := range sizes {
+		t += s
+	}
+	return t
+}

@@ -1,0 +1,144 @@
+package zipfian
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func descending(s []int) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] > s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSizesInvariants(t *testing.T) {
+	f := func(nRaw uint16, eRaw uint8, sRaw uint8) bool {
+		entities := int(eRaw%50) + 1
+		n := entities + int(nRaw%2000)
+		s := float64(sRaw%30)/10 + 0.1
+		sizes := Sizes(n, entities, s)
+		if len(sizes) != entities || Sum(sizes) != n || !descending(sizes) {
+			return false
+		}
+		for _, sz := range sizes {
+			if sz < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizesSkew(t *testing.T) {
+	// Higher exponent concentrates more mass in the head.
+	low := Sizes(10000, 100, 0.5)
+	high := Sizes(10000, 100, 2.0)
+	if high[0] <= low[0] {
+		t.Fatalf("head at s=2.0 (%d) not larger than at s=0.5 (%d)", high[0], low[0])
+	}
+}
+
+func TestSizesPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no entities":  func() { Sizes(10, 0, 1) },
+		"n < entities": func() { Sizes(3, 5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSizesWithHead(t *testing.T) {
+	sizes := SizesWithHead(1900, 190, 230, 1.0)
+	if Sum(sizes) != 1900 || len(sizes) != 190 {
+		t.Fatalf("sum=%d len=%d", Sum(sizes), len(sizes))
+	}
+	if sizes[0] != 230 {
+		t.Fatalf("head = %d, want 230", sizes[0])
+	}
+	if !descending(sizes) {
+		t.Fatal("not descending")
+	}
+}
+
+func TestSizesWithHeadClampedTail(t *testing.T) {
+	// A small head with a heavy remaining mass forces the tail clamp
+	// (no tail entity may exceed the head) and the grow-into-head
+	// path.
+	sizes := SizesWithHead(1000, 10, 105, 1.0)
+	if Sum(sizes) != 1000 || sizes[0] != 105 {
+		t.Fatalf("sum=%d head=%d", Sum(sizes), sizes[0])
+	}
+	for _, s := range sizes[1:] {
+		if s > 105 {
+			t.Fatalf("tail entity %d exceeds head", s)
+		}
+	}
+}
+
+func TestSizesWithHeadNeedsTwoEntities(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 1 entity")
+		}
+	}()
+	SizesWithHead(10, 1, 5, 1)
+}
+
+func TestSizesWithHeadPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when head does not fit")
+		}
+	}()
+	SizesWithHead(10, 5, 20, 1)
+}
+
+func TestSizesCalibrated(t *testing.T) {
+	for _, tc := range []struct{ top1 int }{{500}, {1000}, {1700}} {
+		sizes := SizesCalibrated(10000, 500, tc.top1)
+		if Sum(sizes) != 10000 {
+			t.Fatalf("top1=%d: sum = %d", tc.top1, Sum(sizes))
+		}
+		if sizes[0] != tc.top1 {
+			t.Fatalf("top1 = %d, want %d", sizes[0], tc.top1)
+		}
+		if !descending(sizes) {
+			t.Fatalf("top1=%d: not descending", tc.top1)
+		}
+		if len(sizes) != 500 {
+			t.Fatalf("top1=%d: %d entities", tc.top1, len(sizes))
+		}
+	}
+}
+
+func TestSizesCalibratedHeadGrowsWithTarget(t *testing.T) {
+	a := SizesCalibrated(10000, 500, 500)
+	b := SizesCalibrated(10000, 500, 1700)
+	// Second-largest entity should also be larger under the heavier
+	// head (the whole distribution is steeper).
+	if b[1] <= a[1] {
+		t.Fatalf("second entity: %d (top1=1700) vs %d (top1=500)", b[1], a[1])
+	}
+}
+
+func TestSizesCalibratedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on out-of-range head")
+		}
+	}()
+	SizesCalibrated(1000, 500, 1)
+}

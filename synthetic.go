@@ -1,0 +1,58 @@
+package adalsh
+
+import (
+	"github.com/topk-er/adalsh/internal/datasets"
+	"github.com/topk-er/adalsh/internal/metrics"
+)
+
+// Synthetic dataset builders. These are the workloads of the paper's
+// evaluation (Section 6.3), generated synthetically and shipped with
+// the library so the experiments are reproducible offline; they are
+// also convenient for trying the API on realistic data shapes.
+
+// SyntheticBenchmark pairs a dataset with the matching rule its
+// experiments use.
+type SyntheticBenchmark = datasets.Benchmark
+
+// SyntheticCora builds the Cora-like multi-field publication dataset
+// (scale 1, 2, 4 or 8) with its AND matching rule.
+func SyntheticCora(scale int, seed uint64) *SyntheticBenchmark {
+	return datasets.Cora(scale, seed)
+}
+
+// SyntheticSpotSigs builds the SpotSigs-like near-duplicate article
+// dataset, records being spot-signature sets, with a Jaccard rule at
+// the given similarity threshold (the paper uses 0.4).
+func SyntheticSpotSigs(scale int, simThreshold float64, seed uint64) *SyntheticBenchmark {
+	return datasets.SpotSigs(scale, simThreshold, seed)
+}
+
+// SyntheticPopularImages builds one of the three image datasets
+// (nominal Zipf exponent "1.05", "1.1" or "1.2") with a cosine rule at
+// the given angle threshold in degrees (the paper uses 2, 3 and 5).
+func SyntheticPopularImages(exponent string, thresholdDegrees float64, seed uint64) *SyntheticBenchmark {
+	return datasets.PopularImages(exponent, thresholdDegrees, seed)
+}
+
+// Evaluation metrics (Section 6.2), for when ground truth is known.
+
+// PRF is a precision/recall/F1 triple.
+type PRF = metrics.PRF
+
+// GoldScore compares a filtering output against the records of the k
+// largest ground-truth entities.
+func GoldScore(ds *Dataset, output []int32, k int) PRF {
+	return metrics.Gold(ds, output, k)
+}
+
+// RankedScore computes the mean Average Precision and Recall of the
+// output treated as ranked clusters.
+func RankedScore(ds *Dataset, clusters [][]int32, k int) (mAP, mAR float64) {
+	return metrics.MAPR(ds, clusters, k)
+}
+
+// ReductionPercent reports the filtering output size as a percentage
+// of the dataset.
+func ReductionPercent(ds *Dataset, output []int32) float64 {
+	return metrics.Reduction(ds, output)
+}
