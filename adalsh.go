@@ -164,6 +164,13 @@ type Config struct {
 	// Sequence configures the hashing sequence; the zero value is the
 	// paper's default.
 	Sequence SequenceConfig
+	// Workers is the worker-pool size for the parallel stages (the
+	// pairwise verification of candidate clusters and the bucket-key
+	// precompute of large hashing rounds). 0 uses every CPU
+	// (runtime.GOMAXPROCS); 1 forces the serial paths. The filtering
+	// output is identical for every value — only wall-clock time and
+	// the Stats wall/work split change.
+	Workers int
 	// OnRound, when non-nil, receives a progress snapshot after every
 	// adaptive round — hook for logging or progress display.
 	OnRound func(RoundInfo)
@@ -171,7 +178,7 @@ type Config struct {
 
 // options converts the public config to core options.
 func (c Config) options() core.Options {
-	return core.Options{K: c.K, ReturnClusters: c.ReturnClusters, OnRound: c.OnRound}
+	return core.Options{K: c.K, ReturnClusters: c.ReturnClusters, Workers: c.Workers, OnRound: c.OnRound}
 }
 
 // NewPlan designs the Adaptive LSH plan for a dataset and rule. The
@@ -245,14 +252,14 @@ func FilterPipeline(ds *Dataset, plan *Plan, cfg Config) (<-chan Cluster, <-chan
 // functions on every record, then pairwise verification.
 func FilterLSH(ds *Dataset, rule Rule, x int, cfg Config) (*Result, error) {
 	return blocking.LSHX(ds, rule, blocking.LSHXOptions{
-		X: x, K: cfg.K, ReturnClusters: cfg.ReturnClusters, Seed: cfg.Sequence.Seed,
+		X: x, K: cfg.K, ReturnClusters: cfg.ReturnClusters, Workers: cfg.Workers, Seed: cfg.Sequence.Seed,
 	})
 }
 
 // FilterPairs runs the exact baseline: all pairwise distances with
 // transitive skipping. Quadratic; intended for evaluation.
 func FilterPairs(ds *Dataset, rule Rule, cfg Config) (*Result, error) {
-	return blocking.Pairs(ds, rule, cfg.K, cfg.ReturnClusters)
+	return blocking.Pairs(ds, rule, cfg.K, cfg.ReturnClusters, cfg.Workers)
 }
 
 // Stream answers repeated top-k queries over a growing dataset,

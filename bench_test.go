@@ -1,6 +1,8 @@
 package adalsh_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -201,6 +203,35 @@ func BenchmarkAblationNoHashCache(b *testing.B) {
 
 func BenchmarkAblationNoTransitiveSkip(b *testing.B) {
 	benchAblation(b, core.Options{DisableTransitiveSkip: true})
+}
+
+// BenchmarkPairwiseParallel measures the worker-pool pairwise stage on
+// the SpotSigs workload across scales and worker counts. The workers=1
+// rows are the serial baseline; compare ns/op within one scale for the
+// parallel speedup (Work/Wall also appears in PairwiseStats). On a
+// single-core machine every row degenerates to the serial path's
+// throughput plus dispatch overhead.
+func BenchmarkPairwiseParallel(b *testing.B) {
+	p := provider()
+	workerSet := []int{1, 2, 4}
+	if gomax := runtime.GOMAXPROCS(0); gomax != 1 && gomax != 2 && gomax != 4 {
+		workerSet = append(workerSet, gomax)
+	}
+	for _, scale := range []int{1, 2, 4} {
+		bench := p.SpotSigs(scale, 0.4)
+		recs := make([]int32, bench.Dataset.Len())
+		for i := range recs {
+			recs[i] = int32(i)
+		}
+		for _, w := range workerSet {
+			b.Run(fmt.Sprintf("spotsigs%dx/workers=%d", scale, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, st := core.ApplyPairwiseOpt(bench.Dataset, bench.Rule, recs, core.PairwiseOptions{Workers: w})
+					b.ReportMetric(float64(st.PairsComputed), "pairs/op")
+				}
+			})
+		}
+	}
 }
 
 func BenchmarkApplyHashRoundOne(b *testing.B) {

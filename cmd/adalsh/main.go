@@ -4,7 +4,7 @@
 // Usage:
 //
 //	adalsh -input data.json -rule 'jaccard@0 <= 0.6' -k 10 [-khat 20]
-//	       [-method ada|lsh|pairs] [-x 1280] [-seed 42] [-json]
+//	       [-method ada|lsh|pairs] [-x 1280] [-workers 0] [-seed 42] [-json]
 //
 // The dataset format is documented in internal/dsio. The rule language
 // (internal/rulespec):
@@ -39,6 +39,7 @@ func main() {
 	khat := flag.Int("khat", 0, "clusters to return (default k)")
 	method := flag.String("method", "ada", "ada (adaptive LSH), lsh (one-shot LSH-X) or pairs (exact)")
 	x := flag.Int("x", 1280, "hash budget for -method lsh")
+	workers := flag.Int("workers", 0, "worker-pool size for the parallel pairwise/hashing stages (0 = all CPUs, 1 = serial)")
 	seed := flag.Uint64("seed", 42, "hashing seed")
 	asJSON := flag.Bool("json", false, "emit a JSON report")
 	planIn := flag.String("plan", "", "load a previously saved plan instead of designing one (-method ada)")
@@ -67,7 +68,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := adalsh.Config{K: *k, ReturnClusters: *khat, Sequence: adalsh.SequenceConfig{Seed: *seed}}
+	cfg := adalsh.Config{K: *k, ReturnClusters: *khat, Workers: *workers, Sequence: adalsh.SequenceConfig{Seed: *seed}}
 	var res *adalsh.Result
 	switch *method {
 	case "ada":
@@ -118,17 +119,25 @@ func main() {
 			Records []int32 `json:"records"`
 		}
 		report := struct {
-			Dataset   string    `json:"dataset"`
-			Records   int       `json:"records"`
-			K         int       `json:"k"`
-			Method    string    `json:"method"`
-			Clusters  []cluster `json:"clusters"`
-			Kept      int       `json:"kept_records"`
-			ElapsedMS float64   `json:"elapsed_ms"`
-			F1Gold    *float64  `json:"f1_gold,omitempty"`
+			Dataset        string    `json:"dataset"`
+			Records        int       `json:"records"`
+			K              int       `json:"k"`
+			Method         string    `json:"method"`
+			Clusters       []cluster `json:"clusters"`
+			Kept           int       `json:"kept_records"`
+			ElapsedMS      float64   `json:"elapsed_ms"`
+			Workers        int       `json:"workers,omitempty"`
+			PairsComputed  int64     `json:"pairs_computed"`
+			PairwiseWallMS float64   `json:"pairwise_wall_ms"`
+			PairwiseWorkMS float64   `json:"pairwise_work_ms"`
+			F1Gold         *float64  `json:"f1_gold,omitempty"`
 		}{
 			Dataset: ds.Name, Records: ds.Len(), K: *k, Method: *method,
 			Kept: len(res.Output), ElapsedMS: res.Stats.Elapsed.Seconds() * 1000,
+			Workers:        res.Stats.Workers,
+			PairsComputed:  res.Stats.PairsComputed,
+			PairwiseWallMS: res.Stats.PairwiseWall.Seconds() * 1000,
+			PairwiseWorkMS: res.Stats.PairwiseWork.Seconds() * 1000,
 		}
 		for _, c := range res.Clusters {
 			report.Clusters = append(report.Clusters, cluster{Size: c.Size(), Records: c.Records})
@@ -148,6 +157,12 @@ func main() {
 	fmt.Printf("%s: %d records, method=%s, k=%d: kept %d records in %d clusters (%.1fms)\n",
 		ds.Name, ds.Len(), *method, *k, len(res.Output), len(res.Clusters),
 		res.Stats.Elapsed.Seconds()*1000)
+	if res.Stats.PairwiseRounds > 0 {
+		fmt.Printf("pairwise: %d distances over %d rounds, wall %.1fms, work %.1fms, %d workers\n",
+			res.Stats.PairsComputed, res.Stats.PairwiseRounds,
+			res.Stats.PairwiseWall.Seconds()*1000, res.Stats.PairwiseWork.Seconds()*1000,
+			res.Stats.Workers)
+	}
 	for i, c := range res.Clusters {
 		fmt.Printf("cluster %d (%d records):", i+1, c.Size())
 		for _, r := range c.Records {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	paperbench [-fig fig9a] [-quick] [-skip-images] [-seed N] [-md]
+//	paperbench [-fig fig9a] [-quick] [-skip-images] [-seed N] [-workers N] [-md]
 //
 // With no -fig, every figure is regenerated in order. -quick trims the
 // sweeps (fewer k values, 1x/2x scales only) for a fast sanity pass.
@@ -26,6 +26,7 @@ func main() {
 	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
 	skipImages := flag.Bool("skip-images", false, "skip the PopularImages figures (slowest datasets)")
 	seed := flag.Uint64("seed", 42, "master seed for datasets and hash families")
+	workers := flag.Int("workers", 0, "worker-pool size for pairwise/hashing stages (0 = serial, keeping work counters hardware-independent)")
 	md := flag.Bool("md", false, "emit markdown tables")
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 	}
 
 	p := experiments.NewProvider(*seed)
+	p.Workers = *workers
 	start := time.Now()
 	var tables []*experiments.Table
 	var err error

@@ -12,6 +12,7 @@ package blocking
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -33,6 +34,10 @@ type LSHXOptions struct {
 	// transitive closure of stage one's buckets as final clusters
 	// without verifying any distances.
 	SkipPairwise bool
+	// Workers is the worker-pool size for stage one's key precompute
+	// and the pairwise verification stage; 0 means GOMAXPROCS, 1
+	// forces the serial paths (core.Options.Workers semantics).
+	Workers int
 	// Epsilon and Seed mirror core.SequenceConfig.
 	Epsilon float64
 	Seed    uint64
@@ -81,21 +86,32 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 	}
 	start := time.Now()
 	res := &core.Result{}
-	res.Stats.HashEvals = make([]int64, len(plan.Hashers))
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res.Stats.Workers = workers
 
 	// Stage one: the scheme over every record, streaming (nil cache) —
-	// a one-shot application never reuses hash values.
+	// a one-shot application never reuses hash values. The streamed
+	// base-hash evaluations are counted by the scratches (they equal
+	// X * |R| by construction, but measuring keeps the accounting
+	// honest under DisableHashCache-style ablations).
 	all := make([]int32, ds.Len())
 	for i := range all {
 		all[i] = int32(i)
 	}
+	var hashStats core.HashStats
+	hashStats.Evals = make([]int64, len(plan.Hashers))
 	var stage1 [][]int32
 	if ds.Len() > 0 {
-		stage1 = core.ApplyHash(ds, plan, plan.Funcs[0], nil, all)
+		stage1 = core.ApplyHashStats(ds, plan, plan.Funcs[0], nil, all, workers, &hashStats)
 	}
-	for h, n := range plan.Funcs[0].FuncsPerHasher {
-		res.Stats.HashEvals[h] = int64(n) * int64(ds.Len())
-		res.Stats.ModelCost += float64(n) * plan.Cost.CostFunc[h] * float64(ds.Len())
+	res.Stats.HashEvals = hashStats.Evals
+	res.Stats.HashWall = time.Since(start)
+	res.Stats.HashWork = hashStats.Work
+	for h, n := range res.Stats.HashEvals {
+		res.Stats.ModelCost += float64(n) * plan.Cost.CostFunc[h]
 	}
 	res.Stats.HashRounds = 1
 
@@ -125,10 +141,12 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 				res.Clusters = append(res.Clusters, core.Cluster{Records: c.recs, ByPairwise: true})
 				continue
 			}
-			subs, pairs := core.ApplyPairwise(ds, rule, c.recs)
+			subs, pst := core.ApplyPairwiseOpt(ds, rule, c.recs, core.PairwiseOptions{Workers: workers})
 			res.Stats.PairwiseRounds++
-			res.Stats.PairsComputed += pairs
-			res.Stats.ModelCost += float64(pairs) * plan.Cost.CostP
+			res.Stats.PairsComputed += pst.PairsComputed
+			res.Stats.PairwiseWall += pst.Wall
+			res.Stats.PairwiseWork += pst.Work
+			res.Stats.ModelCost += float64(pst.PairsComputed) * plan.Cost.CostP
 			for _, recs := range subs {
 				bins.Add(&candidate{recs: recs, verified: true})
 			}
@@ -140,8 +158,10 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 
 // Pairs runs the exact baseline: the pairwise computation function P
 // over the whole dataset, returning the k-hat largest connected
-// components.
-func Pairs(ds *record.Dataset, rule distance.Rule, k, returnClusters int) (*core.Result, error) {
+// components. workers is the pairwise worker-pool size (0 means
+// GOMAXPROCS, 1 forces the serial path); the output is identical for
+// every value.
+func Pairs(ds *record.Dataset, rule distance.Rule, k, returnClusters, workers int) (*core.Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("blocking: K = %d, want >= 1", k)
 	}
@@ -156,8 +176,11 @@ func Pairs(ds *record.Dataset, rule distance.Rule, k, returnClusters int) (*core
 	}
 	res := &core.Result{}
 	if ds.Len() > 0 {
-		clusters, pairs := core.ApplyPairwise(ds, rule, all)
-		res.Stats.PairsComputed = pairs
+		clusters, pst := core.ApplyPairwiseOpt(ds, rule, all, core.PairwiseOptions{Workers: workers})
+		res.Stats.PairsComputed = pst.PairsComputed
+		res.Stats.PairwiseWall = pst.Wall
+		res.Stats.PairwiseWork = pst.Work
+		res.Stats.Workers = pst.Workers
 		res.Stats.PairwiseRounds = 1
 		sortBySize(clusters)
 		for _, recs := range clusters {

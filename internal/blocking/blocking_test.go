@@ -37,7 +37,7 @@ func rule() distance.Rule {
 
 func TestPairsFindsTruth(t *testing.T) {
 	ds := testDataset([]int{12, 7, 4, 2}, 3)
-	res, err := blocking.Pairs(ds, rule(), 2, 0)
+	res, err := blocking.Pairs(ds, rule(), 2, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestPairsFindsTruth(t *testing.T) {
 
 func TestLSHXAgreesWithPairs(t *testing.T) {
 	ds := testDataset([]int{15, 9, 5, 3, 2}, 7)
-	exact, err := blocking.Pairs(ds, rule(), 3, 0)
+	exact, err := blocking.Pairs(ds, rule(), 3, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestLSHXArgumentErrors(t *testing.T) {
 	if _, err := blocking.LSHX(ds, rule(), blocking.LSHXOptions{X: 10, K: 0}); err == nil {
 		t.Error("accepted K=0")
 	}
-	if _, err := blocking.Pairs(ds, rule(), 0, 0); err == nil {
+	if _, err := blocking.Pairs(ds, rule(), 0, 0, 1); err == nil {
 		t.Error("Pairs accepted K=0")
 	}
 	// LSHXWithPlan rejects multi-level plans.
@@ -177,7 +177,7 @@ func TestLSHXEarlyTermination(t *testing.T) {
 }
 
 func TestPairsEmptyDataset(t *testing.T) {
-	res, err := blocking.Pairs(&record.Dataset{}, rule(), 3, 0)
+	res, err := blocking.Pairs(&record.Dataset{}, rule(), 3, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"math"
 	"testing"
 
 	"github.com/topk-er/adalsh/internal/core"
@@ -56,6 +57,46 @@ func TestNoSkipComputesMorePairs(t *testing.T) {
 	}
 	if without.Stats.PairsComputed <= with.Stats.PairsComputed {
 		t.Fatalf("no-skip pairs %d <= skip pairs %d", without.Stats.PairsComputed, with.Stats.PairsComputed)
+	}
+}
+
+// TestModelCostMatchesMeasuredWork pins ModelCost to the measured
+// work: with a cache, incremental hash charges match the cache's eval
+// counts; without one (DisableHashCache), every round is charged the
+// full Cost(H_{t+1}) and the streamed eval counters must agree. Both
+// regressions this guards were real: streaming runs reported all-zero
+// HashEvals, and re-hash rounds were charged only the incremental
+// delta despite recomputing everything.
+func TestModelCostMatchesMeasuredWork(t *testing.T) {
+	ds := clusteredSetDataset(t, []int{30, 20, 12, 6, 3}, 37)
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, opts := range map[string]core.Options{
+		"cached":    {K: 3},
+		"streaming": {K: 3, DisableHashCache: true},
+	} {
+		res, err := core.Filter(ds, plan, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := res.Stats
+		var evalSum int64
+		measured := float64(st.PairsComputed) * plan.Cost.CostP
+		for h, evals := range st.HashEvals {
+			evalSum += evals
+			measured += float64(evals) * plan.Cost.CostFunc[h]
+		}
+		if evalSum == 0 {
+			t.Fatalf("%s: HashEvals all zero", name)
+		}
+		if st.ModelCost <= 0 {
+			t.Fatalf("%s: ModelCost = %g", name, st.ModelCost)
+		}
+		if rel := math.Abs(st.ModelCost-measured) / measured; rel > 1e-6 {
+			t.Fatalf("%s: ModelCost %g vs measured %g (rel err %g)", name, st.ModelCost, measured, rel)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -17,6 +18,14 @@ type Options struct {
 	// the largest final clusters to return. Returning more than K
 	// clusters trades precision for recall. Zero means K.
 	ReturnClusters int
+
+	// Workers is the worker-pool size for the parallel stages: the
+	// pairwise computation function P shards its candidate-pair space
+	// across this many workers, and the transitive hashing functions
+	// precompute bucket keys with the same pool. 0 means
+	// runtime.GOMAXPROCS(0); 1 forces the serial paths. The output is
+	// identical for every value — only Stats' wall/work split moves.
+	Workers int
 
 	// Ablation knobs — these disable individual design choices so
 	// their contribution can be measured (see the Ablation benchmarks
@@ -99,10 +108,26 @@ type Stats struct {
 	// the function they applied.
 	HashRounds, PairwiseRounds int
 	// ModelCost is the Definition 3 cost of the run:
-	// sum_i n_i*cost_i + n_P*cost_P.
+	// sum_i n_i*cost_i + n_P*cost_P. With the hash cache disabled,
+	// every hash round is charged the full Cost(H_{t+1}) instead of
+	// the incremental Cost(H_{t+1}) - Cost(H_t), matching the work a
+	// from-scratch recomputation actually performs.
 	ModelCost float64
 	// Elapsed is the wall-clock filtering time.
 	Elapsed time.Duration
+
+	// Per-stage parallel accounting, so speedup curves stay honest
+	// when Workers > 1: *Wall is the stage's elapsed wall-clock time
+	// summed over rounds; *Work is the matching cumulative busy time
+	// (concurrent sections summed across workers, sequential sections
+	// counted once). Work stays roughly constant as Workers grows
+	// while Wall shrinks; Work/Wall is the stage's effective
+	// parallel speedup, and Work == Wall on serial runs.
+	HashWall, HashWork         time.Duration
+	PairwiseWall, PairwiseWork time.Duration
+	// Workers is the resolved worker-pool size of the run
+	// (Options.Workers, with 0 resolved to GOMAXPROCS).
+	Workers int
 }
 
 // Result is the output of a filtering run.
@@ -171,14 +196,18 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 			cache = NewCache(ds, len(plan.Hashers))
 		}
 	}
-	pairwise := ApplyPairwise
-	if opts.DisableTransitiveSkip {
-		pairwise = ApplyPairwiseNoSkip
-	}
 	var st Stats
 	if stats == nil {
 		stats = &st
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	stats.Workers = workers
+	popts := PairwiseOptions{Workers: workers, NoSkip: opts.DisableTransitiveSkip}
+	var hashStats HashStats
+	hashStats.Evals = make([]int64, len(plan.Hashers))
 
 	// Round 0: H_1 over the whole dataset (Algorithm 1 line 1).
 	all := make([]int32, ds.Len())
@@ -199,7 +228,9 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		})
 	}
 	if ds.Len() > 0 {
-		first := ApplyHash(ds, plan, plan.Funcs[0], cache, all)
+		hw0 := time.Now()
+		first := ApplyHashStats(ds, plan, plan.Funcs[0], cache, all, workers, &hashStats)
+		stats.HashWall += time.Since(hw0)
 		stats.HashRounds++
 		stats.ModelCost += plan.Cost.Cost(plan.Funcs[0]) * float64(ds.Len())
 		for _, recs := range first {
@@ -229,19 +260,32 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		}
 		t := c.level // last function applied, 1-based; t < L here
 		if plan.Cost.PreferPairwise(plan, t, len(c.recs)) {
-			subs, pairs := pairwise(ds, plan.Rule, c.recs)
+			subs, pst := ApplyPairwiseOpt(ds, plan.Rule, c.recs, popts)
 			stats.PairwiseRounds++
-			stats.PairsComputed += pairs
-			stats.ModelCost += float64(pairs) * plan.Cost.CostP
+			stats.PairsComputed += pst.PairsComputed
+			stats.PairwiseWall += pst.Wall
+			stats.PairwiseWork += pst.Work
+			stats.ModelCost += float64(pst.PairsComputed) * plan.Cost.CostP
 			for _, recs := range subs {
 				bins.Add(&workCluster{recs: recs, final: true, byP: true})
 			}
 			notify("pairwise", len(c.recs), t)
 		} else {
 			next := plan.Funcs[t] // H_{t+1} (0-based index t)
-			subs := ApplyHash(ds, plan, next, cache, c.recs)
+			hw0 := time.Now()
+			subs := ApplyHashStats(ds, plan, next, cache, c.recs, workers, &hashStats)
+			stats.HashWall += time.Since(hw0)
 			stats.HashRounds++
-			stats.ModelCost += (plan.Cost.Cost(next) - plan.Cost.Cost(plan.Funcs[t-1])) * float64(len(c.recs))
+			// Incremental computation pays only for the prefix
+			// extension H_t -> H_{t+1}; with the cache disabled every
+			// base hash of H_{t+1} is recomputed from scratch, so the
+			// model charges the full cost (the measured HashEvals
+			// agree — see TestModelCostMatchesMeasuredWork).
+			step := plan.Cost.Cost(next)
+			if cache != nil {
+				step -= plan.Cost.Cost(plan.Funcs[t-1])
+			}
+			stats.ModelCost += step * float64(len(c.recs))
 			for _, recs := range subs {
 				bins.Add(&workCluster{recs: recs, level: t + 1, final: t+1 == L})
 			}
@@ -251,8 +295,12 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 	if cache != nil {
 		stats.HashEvals = cache.HashEvals()
 	} else {
-		stats.HashEvals = make([]int64, len(plan.Hashers))
+		// Streaming runs (DisableHashCache) did real hashing work too:
+		// the per-worker scratches counted every streamed base-hash
+		// evaluation.
+		stats.HashEvals = hashStats.Evals
 	}
+	stats.HashWork = hashStats.Work
 	stats.Elapsed = time.Since(start)
 	return nil
 }

@@ -1,0 +1,10 @@
+package core
+
+// SetParallelHashThreshold overrides the parallel key-precompute
+// threshold so tests can exercise both sides of the boundary on one
+// input. It returns a restore function.
+func SetParallelHashThreshold(n int) func() {
+	old := parallelHashThreshold
+	parallelHashThreshold = n
+	return func() { parallelHashThreshold = old }
+}

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/topk-er/adalsh/internal/ppt"
 	"github.com/topk-er/adalsh/internal/record"
@@ -13,8 +15,25 @@ import (
 // parallelHashThreshold is the cluster size above which bucket keys are
 // precomputed by parallel workers. Hashing dominates the cost of a
 // transitive hashing function; the table insertion that follows stays
-// sequential, so results are identical to the serial path.
-const parallelHashThreshold = 4096
+// sequential, so results are identical to the serial path. It is a var
+// only so tests can exercise both sides of the boundary (see
+// export_test.go); production code treats it as a constant.
+var parallelHashThreshold = 4096
+
+// HashStats accumulates the measured work of ApplyHashStats
+// invocations.
+type HashStats struct {
+	// Evals counts streamed base-hash evaluations per plan hasher.
+	// Only the streaming (nil cache) path counts here; cached
+	// invocations count through the Cache itself (Cache.HashEvals),
+	// which is where the incremental-computation saving shows.
+	Evals []int64
+	// Work is the cumulative busy time: the parallel key-precompute
+	// workers' summed busy time plus the sequential portions counted
+	// once. Work ~= wall on the serial path; Work divided by the
+	// caller-observed wall time is the effective parallel speedup.
+	Work time.Duration
+}
 
 // ApplyHash applies transitive hashing function hf to the records in
 // recs (dataset record IDs) and returns the resulting partition, one
@@ -29,6 +48,27 @@ const parallelHashThreshold = 4096
 // instead — each record's hash values live only while that record is
 // inserted — which one-shot blocking baselines use to bound memory.
 func ApplyHash(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []int32) [][]int32 {
+	return ApplyHashStats(ds, p, hf, cache, recs, 0, nil)
+}
+
+// ApplyHashStats is ApplyHash with an explicit worker count for the
+// key-precompute stage (0 means GOMAXPROCS, 1 forces the serial path)
+// and optional work accounting: when st is non-nil, streamed base-hash
+// evaluations and cumulative busy time are accumulated into it. The
+// partition is identical for every worker count: insertion order below
+// is fixed by record order.
+func ApplyHashStats(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []int32, workers int, st *HashStats) [][]int32 {
+	start := time.Now()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var evals []int64
+	if st != nil {
+		if st.Evals == nil {
+			st.Evals = make([]int64, len(p.Hashers))
+		}
+		evals = st.Evals
+	}
 	forest := ppt.NewForest(len(recs))
 	tables := make([]map[uint64]int32, len(hf.Tables))
 	for t := range tables {
@@ -37,10 +77,12 @@ func ApplyHash(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []i
 	numTables := len(hf.Tables)
 
 	// Precompute every record's bucket keys, in parallel for large
-	// inputs. Insertion order below is fixed by record order, so the
-	// partition is byte-identical to a serial run.
+	// inputs.
 	var keys []uint64
-	if workers := runtime.GOMAXPROCS(0); len(recs) >= parallelHashThreshold && workers > 1 {
+	var precomputeWall time.Duration
+	var precomputeBusyNS int64
+	if len(recs) >= parallelHashThreshold && workers > 1 {
+		pw0 := time.Now()
 		keys = make([]uint64, len(recs)*numTables)
 		var wg sync.WaitGroup
 		chunk := (len(recs) + workers - 1) / workers
@@ -56,13 +98,17 @@ func ApplyHash(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []i
 			wg.Add(1)
 			go func(lo, hi int) {
 				defer wg.Done()
+				t0 := time.Now()
 				scratch := newKeyScratch(ds, p, hf, cache)
 				for li := lo; li < hi; li++ {
 					scratch.keysFor(recs[li], keys[li*numTables:(li+1)*numTables])
 				}
+				scratch.flushEvals(evals)
+				atomic.AddInt64(&precomputeBusyNS, int64(time.Since(t0)))
 			}(lo, hi)
 		}
 		wg.Wait()
+		precomputeWall = time.Since(pw0)
 	}
 
 	scratch := newKeyScratch(ds, p, hf, cache)
@@ -91,7 +137,12 @@ func ApplyHash(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []i
 			tables[t][key] = li32
 		}
 	}
-	return collectClusters(forest, recs)
+	scratch.flushEvals(evals)
+	out := collectClusters(forest, recs)
+	if st != nil {
+		st.Work += time.Since(start) - precomputeWall + time.Duration(atomic.LoadInt64(&precomputeBusyNS))
+	}
+	return out
 }
 
 // keyScratch computes a record's bucket keys, either through the
@@ -102,8 +153,10 @@ type keyScratch struct {
 	p     *Plan
 	hf    *HashFunc
 	cache *Cache
-	// stream buffers, used only when cache == nil.
-	buf [][]uint64
+	// stream buffers and per-hasher eval counters, used only when
+	// cache == nil (cached evaluations count through the Cache).
+	buf   [][]uint64
+	evals []int64
 }
 
 func newKeyScratch(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache) *keyScratch {
@@ -113,6 +166,7 @@ func newKeyScratch(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache) *key
 		for h, n := range hf.FuncsPerHasher {
 			s.buf[h] = make([]uint64, n)
 		}
+		s.evals = make([]int64, len(p.Hashers))
 	}
 	return s
 }
@@ -125,6 +179,7 @@ func (s *keyScratch) keysFor(rec int32, out []uint64) {
 			for fn := 0; fn < n; fn++ {
 				s.buf[h][fn] = s.p.Hashers[h].Hash(fn, r)
 			}
+			s.evals[h] += int64(n)
 		}
 	}
 	for t, table := range s.hf.Tables {
@@ -141,6 +196,20 @@ func (s *keyScratch) keysFor(rec int32, out []uint64) {
 			}
 		}
 		out[t] = key
+	}
+}
+
+// flushEvals adds the scratch's streamed eval counts into dst (shared
+// across workers, hence the atomics). No-op when either side does not
+// count.
+func (s *keyScratch) flushEvals(dst []int64) {
+	if s.evals == nil || dst == nil {
+		return
+	}
+	for h, n := range s.evals {
+		if n != 0 {
+			atomic.AddInt64(&dst[h], n)
+		}
 	}
 }
 

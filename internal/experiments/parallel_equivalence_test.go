@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/datasets"
+)
+
+// TestParallelPairwiseEquivalenceOnBuilders runs the pairwise function
+// P serially and with a 4-worker pool over a slice of each paper
+// dataset builder (Cora, SpotSigs, PopularImages) and demands
+// byte-identical partitions. The slice keeps the O(n^2) runs in the
+// hundreds of milliseconds while still exercising every rule family
+// the figures use.
+func TestParallelPairwiseEquivalenceOnBuilders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second O(n^2) runs")
+	}
+	p := NewProvider(42)
+	benches := map[string]*datasets.Benchmark{
+		"cora":     p.Cora(1),
+		"spotsigs": p.SpotSigs(1, 0.4),
+		"images":   p.Images("1.05", 15),
+	}
+	const slice = 600
+	for name, b := range benches {
+		n := b.Dataset.Len()
+		if n > slice {
+			n = slice
+		}
+		recs := make([]int32, n)
+		for i := range recs {
+			recs[i] = int32(i)
+		}
+		serial, sst := core.ApplyPairwiseOpt(b.Dataset, b.Rule, recs, core.PairwiseOptions{Workers: 1})
+		parallel, pst := core.ApplyPairwiseOpt(b.Dataset, b.Rule, recs, core.PairwiseOptions{Workers: 4})
+		if !reflect.DeepEqual(parallel, serial) {
+			t.Errorf("%s: parallel partition differs from serial", name)
+		}
+		total := int64(n) * int64(n-1) / 2
+		if pst.PairsComputed < sst.PairsComputed || pst.PairsComputed > total {
+			t.Errorf("%s: parallel PairsComputed %d outside [%d, %d]",
+				name, pst.PairsComputed, sst.PairsComputed, total)
+		}
+	}
+}
+
+// TestParallelProviderEquivalenceOnCora runs the full Adaptive LSH
+// pipeline end-to-end with the worker pool on and off; output and the
+// deterministic work counters must be identical. One shared plan is
+// used for both runs: Calibrate times rule.Match with the wall clock,
+// so independently designed plans carry different cost models and can
+// legitimately route clusters through different hash/pairwise rounds.
+func TestParallelProviderEquivalenceOnCora(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dataset run")
+	}
+	p := NewProvider(42)
+	bench := p.Cora(1)
+	plan, err := p.Plan(bench, defaultSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := core.Filter(bench.Dataset, plan, core.Options{K: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := core.Filter(bench.Dataset, plan, core.Options{K: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(parallel.Output, serial.Output) {
+		t.Fatal("parallel provider output differs from serial")
+	}
+	if !reflect.DeepEqual(parallel.Clusters, serial.Clusters) {
+		t.Fatal("parallel provider clusters differ from serial")
+	}
+	if !reflect.DeepEqual(parallel.Stats.HashEvals, serial.Stats.HashEvals) {
+		t.Fatal("parallel provider hash evals differ from serial")
+	}
+	if parallel.Stats.HashRounds != serial.Stats.HashRounds ||
+		parallel.Stats.PairwiseRounds != serial.Stats.PairwiseRounds {
+		t.Fatalf("rounds differ: %d/%d vs %d/%d",
+			parallel.Stats.HashRounds, parallel.Stats.PairwiseRounds,
+			serial.Stats.HashRounds, serial.Stats.PairwiseRounds)
+	}
+}

@@ -21,6 +21,14 @@ type Provider struct {
 	// Seed drives every generator and hashing family.
 	Seed uint64
 
+	// Workers is the worker-pool size passed to every method run
+	// (core.Options.Workers semantics, except that the provider's
+	// zero value means serial, not GOMAXPROCS): figure tables report
+	// work counters such as PairsComputed, and the serial default
+	// keeps them byte-identical across machines with different core
+	// counts. cmd/paperbench -workers opts in to parallel runs.
+	Workers int
+
 	mu    sync.Mutex
 	ds    map[string]*record.Dataset
 	plans map[string]*core.Plan
@@ -37,6 +45,15 @@ func NewProvider(seed uint64) *Provider {
 		costP: make(map[string]float64),
 		pairs: make(map[string]*core.Result),
 	}
+}
+
+// workers resolves the provider's Workers default: 0 stays serial so
+// figure work counters are hardware-independent.
+func (p *Provider) workers() int {
+	if p.Workers == 0 {
+		return 1
+	}
+	return p.Workers
 }
 
 func (p *Provider) dataset(key string, build func() *record.Dataset) *record.Dataset {
@@ -131,7 +148,7 @@ func (p *Provider) RunAdaLSHConfig(b *datasets.Benchmark, k, khat int, cfg core.
 	if noise != 0 {
 		plan = plan.WithNoise(noise)
 	}
-	return core.Filter(b.Dataset, plan, core.Options{K: k, ReturnClusters: khat})
+	return core.Filter(b.Dataset, plan, core.Options{K: k, ReturnClusters: khat, Workers: p.workers()})
 }
 
 // RunLSHX runs the LSH-X blocking baseline (skipPairwise selects the
@@ -143,7 +160,7 @@ func (p *Provider) RunLSHX(b *datasets.Benchmark, x, k, khat int, skipPairwise b
 		return nil, err
 	}
 	return blocking.LSHXWithPlan(b.Dataset, b.Rule, plan, blocking.LSHXOptions{
-		X: x, K: k, ReturnClusters: khat, SkipPairwise: skipPairwise, Seed: p.Seed,
+		X: x, K: k, ReturnClusters: khat, SkipPairwise: skipPairwise, Workers: p.workers(), Seed: p.Seed,
 	})
 }
 
@@ -157,7 +174,7 @@ func (p *Provider) RunPairs(b *datasets.Benchmark, k, khat int) (*core.Result, e
 		return r, nil
 	}
 	p.mu.Unlock()
-	r, err := blocking.Pairs(b.Dataset, b.Rule, k, khat)
+	r, err := blocking.Pairs(b.Dataset, b.Rule, k, khat, p.workers())
 	if err != nil {
 		return nil, err
 	}

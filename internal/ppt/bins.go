@@ -80,6 +80,13 @@ func (b *Bins[T]) PopLargest() (T, bool) {
 
 // PeekLargestSize reports the size of the largest stored cluster, or 0
 // when empty.
+//
+// Like PopLargest, it lowers the b.highest cursor past bins emptied by
+// earlier pops. This mutation is deliberate and safe: the invariant is
+// that every bin above b.highest is empty, and Add restores the cursor
+// whenever a later insertion lands in a higher bin, so no sequence of
+// interleaved Peek/Add/Pop calls can miss the true maximum (see
+// TestBinsPeekNeverMissesMaximum).
 func (b *Bins[T]) PeekLargestSize() int {
 	h := b.highest
 	for h >= 0 && len(b.bins[h]) == 0 {

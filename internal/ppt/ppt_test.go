@@ -214,6 +214,65 @@ func TestBinsAlwaysPopsMaximum(t *testing.T) {
 	}
 }
 
+// TestBinsPeekNeverMissesMaximum pins down the documented
+// PeekLargestSize contract: the method lowers the b.highest cursor
+// while scanning past emptied bins, and that cache update must never
+// make an interleaved Peek/Add/Pop sequence miss the true maximum —
+// Add restores the cursor whenever an insertion lands above it.
+func TestBinsPeekNeverMissesMaximum(t *testing.T) {
+	f := func(seed uint64, sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		b := NewBins[sizedInt](1 << 16)
+		rng := xhash.NewRNG(seed)
+		live := make(map[int]int) // size -> count
+		maxLive := func() int {
+			m := 0
+			for s, c := range live {
+				if c > 0 && s > m {
+					m = s
+				}
+			}
+			return m
+		}
+		for _, raw := range sizes {
+			s := int(raw) + 1
+			b.Add(sizedInt(s))
+			live[s]++
+			// Peek after every mutation; it must always agree with the
+			// reference multiset, no matter how the cursor moved.
+			if b.PeekLargestSize() != maxLive() {
+				return false
+			}
+			if rng.Float64() < 0.5 {
+				got, ok := b.PopLargest()
+				if !ok || int(got) != maxLive() {
+					return false
+				}
+				live[int(got)]--
+				if b.PeekLargestSize() != maxLive() {
+					return false
+				}
+			}
+		}
+		for b.Len() > 0 {
+			if b.PeekLargestSize() != maxLive() {
+				return false
+			}
+			got, ok := b.PopLargest()
+			if !ok || int(got) != maxLive() {
+				return false
+			}
+			live[int(got)]--
+		}
+		return b.PeekLargestSize() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBinsEmptyClusterPanics(t *testing.T) {
 	b := NewBins[sizedInt](10)
 	defer func() {
