@@ -165,12 +165,17 @@ type Config struct {
 	// paper's default.
 	Sequence SequenceConfig
 	// Workers is the worker-pool size for the parallel stages (the
-	// pairwise verification of candidate clusters and the bucket-key
-	// precompute of large hashing rounds). 0 uses every CPU
-	// (runtime.GOMAXPROCS); 1 forces the serial paths. The filtering
-	// output is identical for every value — only wall-clock time and
-	// the Stats wall/work split change.
+	// pairwise verification of candidate clusters, the bucket-key
+	// precompute of large hashing rounds, and their sharded bucket
+	// insertion). 0 uses every CPU (runtime.GOMAXPROCS); 1 forces the
+	// serial paths. The filtering output is identical for every value —
+	// only wall-clock time and the Stats wall/work split change.
 	Workers int
+	// HashShards is the number of bucket-map shards of the parallel
+	// hash stage; 0 derives it from Workers. The output is identical
+	// for every value — tune it only when profiling shows shard-map
+	// contention or imbalance.
+	HashShards int
 	// OnRound, when non-nil, receives a progress snapshot after every
 	// adaptive round — hook for logging or progress display.
 	OnRound func(RoundInfo)
@@ -178,7 +183,11 @@ type Config struct {
 
 // options converts the public config to core options.
 func (c Config) options() core.Options {
-	return core.Options{K: c.K, ReturnClusters: c.ReturnClusters, Workers: c.Workers, OnRound: c.OnRound}
+	return core.Options{
+		K: c.K, ReturnClusters: c.ReturnClusters,
+		Workers: c.Workers, HashShards: c.HashShards,
+		OnRound: c.OnRound,
+	}
 }
 
 // NewPlan designs the Adaptive LSH plan for a dataset and rule. The
@@ -252,7 +261,8 @@ func FilterPipeline(ds *Dataset, plan *Plan, cfg Config) (<-chan Cluster, <-chan
 // functions on every record, then pairwise verification.
 func FilterLSH(ds *Dataset, rule Rule, x int, cfg Config) (*Result, error) {
 	return blocking.LSHX(ds, rule, blocking.LSHXOptions{
-		X: x, K: cfg.K, ReturnClusters: cfg.ReturnClusters, Workers: cfg.Workers, Seed: cfg.Sequence.Seed,
+		X: x, K: cfg.K, ReturnClusters: cfg.ReturnClusters,
+		Workers: cfg.Workers, HashShards: cfg.HashShards, Seed: cfg.Sequence.Seed,
 	})
 }
 

@@ -12,6 +12,7 @@ import (
 	"github.com/topk-er/adalsh/internal/experiments"
 	"github.com/topk-er/adalsh/internal/lshfamily"
 	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
 )
 
 // benchProvider is shared across benchmarks so datasets, plans and
@@ -248,5 +249,75 @@ func BenchmarkApplyHashRoundOne(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.ApplyHash(bench.Dataset, plan, plan.Funcs[0], nil, recs)
+	}
+}
+
+// hashBenchDataset builds a synthetic set-valued dataset of n records
+// in entities of ten near-duplicates each, sized so the parallel hash
+// stage has real signature and insertion work per record.
+func hashBenchDataset(n int) *record.Dataset {
+	rng := xhash.NewRNG(7)
+	ds := &record.Dataset{Name: fmt.Sprintf("synth-sets-%d", n)}
+	for ent := 0; len(ds.Records) < n; ent++ {
+		base := make([]uint64, 60)
+		for i := range base {
+			base[i] = rng.Uint64()
+		}
+		for r := 0; r < 10 && len(ds.Records) < n; r++ {
+			elems := make([]uint64, len(base))
+			copy(elems, base)
+			for j := 0; j < 6; j++ {
+				elems[rng.Intn(len(elems))] = rng.Uint64()
+			}
+			ds.Add(ent, record.NewSet(elems))
+		}
+	}
+	return ds
+}
+
+// BenchmarkHashParallel measures the sharded hash stage (streaming
+// ApplyHashOpt, round one of Algorithm 1) across scales and worker
+// counts. The workers=1 rows are the serial baseline; compare ns/op
+// within one scale for the parallel speedup (Work/Wall also splits in
+// HashStats). MinParallel is forced to 1 so every parallel row actually
+// runs the sharded pipeline regardless of input size. On a single-core
+// machine every row degenerates to the serial path's throughput plus
+// dispatch overhead.
+func BenchmarkHashParallel(b *testing.B) {
+	p := provider()
+	workerSet := []int{1, 2, 4}
+	if gomax := runtime.GOMAXPROCS(0); gomax != 1 && gomax != 2 && gomax != 4 {
+		workerSet = append(workerSet, gomax)
+	}
+	sp1 := p.SpotSigs(1, 0.4)
+	sp4 := p.SpotSigs(4, 0.4)
+	synth := hashBenchDataset(10000)
+	workloads := []struct {
+		name string
+		ds   *record.Dataset
+		rule distance.Rule
+	}{
+		{"spotsigs1x", sp1.Dataset, sp1.Rule},
+		{"spotsigs4x", sp4.Dataset, sp4.Rule},
+		{"synth10k", synth, distance.Threshold{Field: 0, Metric: distance.Jaccard{}, MaxDistance: 0.5}},
+	}
+	for _, wl := range workloads {
+		plan, err := core.DesignPlan(wl.ds, wl.rule, core.SequenceConfig{Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs := make([]int32, wl.ds.Len())
+		for i := range recs {
+			recs[i] = int32(i)
+		}
+		for _, w := range workerSet {
+			b.Run(fmt.Sprintf("%s/workers=%d", wl.name, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					st := &core.HashStats{}
+					core.ApplyHashOpt(wl.ds, plan, plan.Funcs[0], nil, recs,
+						core.HashOptions{Workers: w, Shards: w, MinParallel: 1}, st)
+				}
+			})
+		}
 	}
 }

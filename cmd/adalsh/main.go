@@ -4,7 +4,8 @@
 // Usage:
 //
 //	adalsh -input data.json -rule 'jaccard@0 <= 0.6' -k 10 [-khat 20]
-//	       [-method ada|lsh|pairs] [-x 1280] [-workers 0] [-seed 42] [-json]
+//	       [-method ada|lsh|pairs] [-x 1280] [-workers 0] [-hash-shards 0]
+//	       [-seed 42] [-json]
 //
 // The dataset format is documented in internal/dsio. The rule language
 // (internal/rulespec):
@@ -40,6 +41,7 @@ func main() {
 	method := flag.String("method", "ada", "ada (adaptive LSH), lsh (one-shot LSH-X) or pairs (exact)")
 	x := flag.Int("x", 1280, "hash budget for -method lsh")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel pairwise/hashing stages (0 = all CPUs, 1 = serial)")
+	hashShards := flag.Int("hash-shards", 0, "bucket-map shards of the parallel hash stage (0 = workers); output is identical for every value")
 	seed := flag.Uint64("seed", 42, "hashing seed")
 	asJSON := flag.Bool("json", false, "emit a JSON report")
 	planIn := flag.String("plan", "", "load a previously saved plan instead of designing one (-method ada)")
@@ -68,7 +70,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := adalsh.Config{K: *k, ReturnClusters: *khat, Workers: *workers, Sequence: adalsh.SequenceConfig{Seed: *seed}}
+	cfg := adalsh.Config{
+		K: *k, ReturnClusters: *khat,
+		Workers: *workers, HashShards: *hashShards,
+		Sequence: adalsh.SequenceConfig{Seed: *seed},
+	}
 	var res *adalsh.Result
 	switch *method {
 	case "ada":

@@ -27,6 +27,7 @@ func main() {
 	skipImages := flag.Bool("skip-images", false, "skip the PopularImages figures (slowest datasets)")
 	seed := flag.Uint64("seed", 42, "master seed for datasets and hash families")
 	workers := flag.Int("workers", 0, "worker-pool size for pairwise/hashing stages (0 = serial, keeping work counters hardware-independent)")
+	hashShards := flag.Int("hash-shards", 0, "bucket-map shards of the parallel hash stage (0 = workers)")
 	md := flag.Bool("md", false, "emit markdown tables")
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 
 	p := experiments.NewProvider(*seed)
 	p.Workers = *workers
+	p.HashShards = *hashShards
 	start := time.Now()
 	var tables []*experiments.Table
 	var err error

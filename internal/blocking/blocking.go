@@ -34,10 +34,14 @@ type LSHXOptions struct {
 	// transitive closure of stage one's buckets as final clusters
 	// without verifying any distances.
 	SkipPairwise bool
-	// Workers is the worker-pool size for stage one's key precompute
-	// and the pairwise verification stage; 0 means GOMAXPROCS, 1
-	// forces the serial paths (core.Options.Workers semantics).
+	// Workers is the worker-pool size for stage one's key precompute,
+	// its sharded bucket insertion, and the pairwise verification
+	// stage; 0 means GOMAXPROCS, 1 forces the serial paths
+	// (core.Options.Workers semantics).
 	Workers int
+	// HashShards is the bucket-map shard count of stage one's parallel
+	// insertion (core.Options.HashShards semantics; 0 means Workers).
+	HashShards int
 	// Epsilon and Seed mirror core.SequenceConfig.
 	Epsilon float64
 	Seed    uint64
@@ -105,7 +109,8 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 	hashStats.Evals = make([]int64, len(plan.Hashers))
 	var stage1 [][]int32
 	if ds.Len() > 0 {
-		stage1 = core.ApplyHashStats(ds, plan, plan.Funcs[0], nil, all, workers, &hashStats)
+		hopts := core.HashOptions{Workers: workers, Shards: opts.HashShards}
+		stage1 = core.ApplyHashOpt(ds, plan, plan.Funcs[0], nil, all, hopts, &hashStats)
 	}
 	res.Stats.HashEvals = hashStats.Evals
 	res.Stats.HashWall = time.Since(start)

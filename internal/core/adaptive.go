@@ -22,10 +22,20 @@ type Options struct {
 	// Workers is the worker-pool size for the parallel stages: the
 	// pairwise computation function P shards its candidate-pair space
 	// across this many workers, and the transitive hashing functions
-	// precompute bucket keys with the same pool. 0 means
-	// runtime.GOMAXPROCS(0); 1 forces the serial paths. The output is
-	// identical for every value — only Stats' wall/work split moves.
+	// precompute bucket keys and run sharded bucket insertion with the
+	// same pool. 0 means runtime.GOMAXPROCS(0); 1 forces the serial
+	// paths. The output is identical for every value — only Stats'
+	// wall/work split moves.
 	Workers int
+
+	// HashShards is the number of bucket-map shards of the parallel
+	// hash stage (HashOptions.Shards semantics): 0 means Workers. The
+	// output is identical for every value.
+	HashShards int
+	// HashMinParallel overrides the cluster-size floor below which the
+	// hash stage stays serial (0 means the built-in default). Mainly
+	// for tests and tuning.
+	HashMinParallel int
 
 	// Ablation knobs — these disable individual design choices so
 	// their contribution can be measured (see the Ablation benchmarks
@@ -206,6 +216,7 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 	}
 	stats.Workers = workers
 	popts := PairwiseOptions{Workers: workers, NoSkip: opts.DisableTransitiveSkip}
+	hopts := HashOptions{Workers: workers, Shards: opts.HashShards, MinParallel: opts.HashMinParallel}
 	var hashStats HashStats
 	hashStats.Evals = make([]int64, len(plan.Hashers))
 
@@ -229,10 +240,10 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 	}
 	if ds.Len() > 0 {
 		hw0 := time.Now()
-		first := ApplyHashStats(ds, plan, plan.Funcs[0], cache, all, workers, &hashStats)
+		first := ApplyHashOpt(ds, plan, plan.Funcs[0], cache, all, hopts, &hashStats)
 		stats.HashWall += time.Since(hw0)
 		stats.HashRounds++
-		stats.ModelCost += plan.Cost.Cost(plan.Funcs[0]) * float64(ds.Len())
+		stats.ModelCost += plan.Cost.StepCost(plan.Funcs[0], nil) * float64(ds.Len())
 		for _, recs := range first {
 			bins.Add(&workCluster{recs: recs, level: 1, final: L == 1})
 		}
@@ -273,19 +284,19 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		} else {
 			next := plan.Funcs[t] // H_{t+1} (0-based index t)
 			hw0 := time.Now()
-			subs := ApplyHashStats(ds, plan, next, cache, c.recs, workers, &hashStats)
+			subs := ApplyHashOpt(ds, plan, next, cache, c.recs, hopts, &hashStats)
 			stats.HashWall += time.Since(hw0)
 			stats.HashRounds++
 			// Incremental computation pays only for the prefix
 			// extension H_t -> H_{t+1}; with the cache disabled every
-			// base hash of H_{t+1} is recomputed from scratch, so the
-			// model charges the full cost (the measured HashEvals
-			// agree — see TestModelCostMatchesMeasuredWork).
-			step := plan.Cost.Cost(next)
+			// base hash of H_{t+1} is recomputed from scratch and the
+			// model charges the full cost (StepCost with a nil
+			// predecessor).
+			var from *HashFunc
 			if cache != nil {
-				step -= plan.Cost.Cost(plan.Funcs[t-1])
+				from = plan.Funcs[t-1]
 			}
-			stats.ModelCost += step * float64(len(c.recs))
+			stats.ModelCost += plan.Cost.StepCost(next, from) * float64(len(c.recs))
 			for _, recs := range subs {
 				bins.Add(&workCluster{recs: recs, level: t + 1, final: t+1 == L})
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"github.com/topk-er/adalsh/internal/lshfamily"
 	"github.com/topk-er/adalsh/internal/record"
 )
 
@@ -14,6 +15,13 @@ import (
 //
 // Memory grows with actual work: records that Adaptive LSH filters out
 // early keep only their short round-one prefixes.
+//
+// Concurrency contract: Ensure may be called concurrently for DISTINCT
+// records (the parallel key-precompute workers partition records, and
+// the shared eval counters are atomic); concurrent Ensure calls on the
+// same record race on its prefix slot. Consequently a Cache must not
+// be shared by concurrently running filter invocations; Grow is not
+// safe to call concurrently with anything.
 type Cache struct {
 	ds *record.Dataset
 	// vals[h][rec] is the computed prefix of hasher h's function
@@ -46,15 +54,16 @@ func (c *Cache) Ensure(p *Plan, h, rec, n int) []uint64 {
 		copy(grown, cur)
 		cur = grown
 	}
-	hasher := p.Hashers[h]
 	r := &c.ds.Records[rec]
 	// Atomic: the parallel key-precompute path runs Ensure for
 	// different records concurrently (distinct vals slots, shared
 	// counter).
 	atomic.AddInt64(&c.evals[h], int64(n-len(cur)))
-	for fn := len(cur); fn < n; fn++ {
-		cur = append(cur, hasher.Hash(fn, r))
-	}
+	// The missing suffix is evaluated through the batched signature
+	// path: one call per (record, hasher) instead of one per function.
+	have := len(cur)
+	cur = cur[:n]
+	lshfamily.HashRange(p.Hashers[h], have, n, r, cur[have:])
 	c.vals[h][rec] = cur
 	return cur
 }

@@ -40,6 +40,20 @@ func (m CostModel) Cost(hf *HashFunc) float64 {
 	return c
 }
 
+// StepCost returns the Definition 3 per-record cost charged when a
+// cluster advances to function hf: the prefix-extension cost
+// Cost(hf) - Cost(from) under incremental computation, or the full
+// Cost(hf) when from is nil (round one, or the hash cache disabled —
+// a from-scratch recomputation pays for every base evaluation, and the
+// measured HashEvals agree; see TestModelCostMatchesMeasuredWork).
+func (m CostModel) StepCost(hf, from *HashFunc) float64 {
+	c := m.Cost(hf)
+	if from != nil {
+		c -= m.Cost(from)
+	}
+	return c
+}
+
 // effNoise returns the line-5 noise multiplier.
 func (m CostModel) effNoise() float64 {
 	if m.NoiseP == 0 {

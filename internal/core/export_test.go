@@ -1,10 +1,20 @@
 package core
 
-// SetParallelHashThreshold overrides the parallel key-precompute
-// threshold so tests can exercise both sides of the boundary on one
-// input. It returns a restore function.
+// SetParallelHashThreshold overrides the parallel hash-stage threshold
+// so tests can exercise both sides of the boundary on one input. It
+// returns a restore function.
 func SetParallelHashThreshold(n int) func() {
 	old := parallelHashThreshold
 	parallelHashThreshold = n
 	return func() { parallelHashThreshold = old }
+}
+
+// SetPairwiseParallelThreshold overrides the pairwise dispatch
+// threshold; tests pin it high to keep the pairwise stage serial (and
+// its PairsComputed worker-independent) while the hash stage runs
+// parallel. It returns a restore function.
+func SetPairwiseParallelThreshold(n int64) func() {
+	old := pairwiseParallelThreshold
+	pairwiseParallelThreshold = n
+	return func() { pairwiseParallelThreshold = old }
 }

@@ -12,18 +12,19 @@ import (
 )
 
 // Tuning knobs of the parallel pairwise execution layer.
-const (
-	// pairwiseParallelThreshold is the minimum number of candidate
-	// pairs before ApplyPairwise fans out to a worker pool; below it
-	// the serial loop wins on dispatch overhead (8192 pairs is a
-	// cluster of about 130 records).
-	pairwiseParallelThreshold = 1 << 13
-	// pairwiseBlock is the number of pairs each worker evaluates per
-	// dispatch wave. Larger blocks amortize the wave barrier; smaller
-	// blocks prune transitively-closed pairs sooner, wasting fewer
-	// distance evaluations relative to the serial path.
-	pairwiseBlock = 1024
-)
+
+// pairwiseParallelThreshold is the minimum number of candidate pairs
+// before ApplyPairwise fans out to a worker pool; below it the serial
+// loop wins on dispatch overhead (8192 pairs is a cluster of about 130
+// records). It is a var only so tests can pin the pairwise stage
+// serial while exercising the parallel hash stage (export_test.go).
+var pairwiseParallelThreshold int64 = 1 << 13
+
+// pairwiseBlock is the number of pairs each worker evaluates per
+// dispatch wave. Larger blocks amortize the wave barrier; smaller
+// blocks prune transitively-closed pairs sooner, wasting fewer
+// distance evaluations relative to the serial path.
+const pairwiseBlock = 1024
 
 // PairwiseOptions controls one invocation of the pairwise computation
 // function P.

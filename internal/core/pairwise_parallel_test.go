@@ -165,10 +165,10 @@ func TestApplyHashCrossThresholdDeterminism(t *testing.T) {
 			st := &core.HashStats{}
 			return core.ApplyHashStats(ds, plan, hf, cache, recs, workers, st), st
 		}
-		serial, _ := run(len(recs)+1, 4)         // threshold above input: serial precompute
-		atEdge, _ := run(len(recs), 4)           // threshold at input size: parallel
-		parallel, pst := run(1, 4)               // threshold below: parallel
-		serialW, _ := run(1, 1)                  // parallel threshold but one worker
+		serial, _ := run(len(recs)+1, 4) // threshold above input: serial precompute
+		atEdge, _ := run(len(recs), 4)   // threshold at input size: parallel
+		parallel, pst := run(1, 4)       // threshold below: parallel
+		serialW, _ := run(1, 1)          // parallel threshold but one worker
 		for i, got := range [][][]int32{atEdge, parallel, serialW} {
 			if !reflect.DeepEqual(got, serial) {
 				t.Fatalf("%s: variant %d differs from serial partition", name, i)

@@ -18,11 +18,13 @@ import (
 // records for vector dimensions and cost calibration) and kept for the
 // stream's lifetime. Stream is not safe for concurrent use.
 type Stream struct {
-	rule  distance.Rule
-	cfg   SequenceConfig
-	ds    *record.Dataset
-	plan  *Plan
-	cache *Cache
+	rule    distance.Rule
+	cfg     SequenceConfig
+	ds      *record.Dataset
+	plan    *Plan
+	cache   *Cache
+	workers int
+	shards  int
 }
 
 // NewStream creates an empty stream for the given matching rule.
@@ -40,6 +42,16 @@ func (s *Stream) Add(fields ...record.Field) int {
 // (useful in evaluation settings).
 func (s *Stream) AddWithTruth(entity int, fields ...record.Field) int {
 	return s.ds.Add(entity, fields...)
+}
+
+// SetWorkers sets the worker-pool size used by subsequent queries
+// (Options.Workers semantics: 0 means GOMAXPROCS, 1 forces the serial
+// paths) and optionally the bucket-map shard count of the parallel
+// hash stage (Options.HashShards semantics: 0 means workers). Query
+// results are identical for every combination.
+func (s *Stream) SetWorkers(workers, hashShards int) {
+	s.workers = workers
+	s.shards = hashShards
 }
 
 // Len reports the number of records in the stream.
@@ -73,7 +85,10 @@ func (s *Stream) TopKClusters(k, returnClusters int) (*Result, error) {
 		s.cache = NewCache(s.ds, len(plan.Hashers))
 	}
 	s.cache.Grow(s.ds.Len())
-	return Filter(s.ds, s.plan, Options{K: k, ReturnClusters: returnClusters, Cache: s.cache})
+	return Filter(s.ds, s.plan, Options{
+		K: k, ReturnClusters: returnClusters, Cache: s.cache,
+		Workers: s.workers, HashShards: s.shards,
+	})
 }
 
 // Plan exposes the designed plan (nil before the first query).

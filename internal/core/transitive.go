@@ -7,21 +7,54 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/topk-er/adalsh/internal/lshfamily"
 	"github.com/topk-er/adalsh/internal/ppt"
 	"github.com/topk-er/adalsh/internal/record"
 	"github.com/topk-er/adalsh/internal/xhash"
 )
 
-// parallelHashThreshold is the cluster size above which bucket keys are
-// precomputed by parallel workers. Hashing dominates the cost of a
-// transitive hashing function; the table insertion that follows stays
-// sequential, so results are identical to the serial path. It is a var
-// only so tests can exercise both sides of the boundary (see
-// export_test.go); production code treats it as a constant.
+// parallelHashThreshold is the cluster size above which the hash stage
+// runs its parallel pipeline: bucket keys are precomputed by worker
+// waves and bucket insertion runs over sharded bucket maps. Below it
+// the serial loop wins on dispatch overhead. It is a var only so tests
+// can exercise both sides of the boundary (see export_test.go and
+// HashOptions.MinParallel); production code treats it as a constant.
 var parallelHashThreshold = 4096
 
-// HashStats accumulates the measured work of ApplyHashStats
-// invocations.
+// HashOptions controls one invocation of a transitive hashing function.
+type HashOptions struct {
+	// Workers is the worker-pool size for the parallel key-precompute
+	// and sharded-insertion stages; 0 means runtime.GOMAXPROCS(0), 1
+	// forces the serial path. The partition produced is identical for
+	// every value.
+	Workers int
+	// Shards is the number of bucket-map shards of the parallel
+	// insertion stage. Records' bucket keys are routed to shard
+	// hash(bucketKey) % Shards; each shard owns a disjoint slice of
+	// every table's bucket space and is merged deterministically, so
+	// bucket contents and the resulting partition are identical to the
+	// serial path for every shard count. 0 means Workers.
+	Shards int
+	// MinParallel overrides the record-count floor below which the
+	// serial path is used (0 means the built-in 4096 default). Mainly
+	// for tests and tuning.
+	MinParallel int
+}
+
+func (o HashOptions) resolve() HashOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards <= 0 {
+		o.Shards = o.Workers
+	}
+	if o.MinParallel <= 0 {
+		o.MinParallel = parallelHashThreshold
+	}
+	return o
+}
+
+// HashStats accumulates the measured work of ApplyHashOpt invocations.
 type HashStats struct {
 	// Evals counts streamed base-hash evaluations per plan hasher.
 	// Only the streaming (nil cache) path counts here; cached
@@ -29,9 +62,9 @@ type HashStats struct {
 	// which is where the incremental-computation saving shows.
 	Evals []int64
 	// Work is the cumulative busy time: the parallel key-precompute
-	// workers' summed busy time plus the sequential portions counted
-	// once. Work ~= wall on the serial path; Work divided by the
-	// caller-observed wall time is the effective parallel speedup.
+	// and shard workers' summed busy time plus the sequential portions
+	// counted once. Work ~= wall on the serial path; Work divided by
+	// the caller-observed wall time is the effective parallel speedup.
 	Work time.Duration
 }
 
@@ -48,20 +81,27 @@ type HashStats struct {
 // instead — each record's hash values live only while that record is
 // inserted — which one-shot blocking baselines use to bound memory.
 func ApplyHash(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []int32) [][]int32 {
-	return ApplyHashStats(ds, p, hf, cache, recs, 0, nil)
+	return ApplyHashOpt(ds, p, hf, cache, recs, HashOptions{}, nil)
 }
 
-// ApplyHashStats is ApplyHash with an explicit worker count for the
-// key-precompute stage (0 means GOMAXPROCS, 1 forces the serial path)
-// and optional work accounting: when st is non-nil, streamed base-hash
-// evaluations and cumulative busy time are accumulated into it. The
-// partition is identical for every worker count: insertion order below
-// is fixed by record order.
+// ApplyHashStats is ApplyHash with an explicit worker count and
+// optional work accounting (HashOptions defaults otherwise).
 func ApplyHashStats(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []int32, workers int, st *HashStats) [][]int32 {
+	return ApplyHashOpt(ds, p, hf, cache, recs, HashOptions{Workers: workers}, st)
+}
+
+// ApplyHashOpt is ApplyHash with explicit options and work accounting:
+// when st is non-nil, streamed base-hash evaluations and cumulative
+// busy time are accumulated into it. Inputs of MinParallel records or
+// more run the parallel pipeline — key precompute in worker waves,
+// then bucket insertion over sharded bucket maps with a deterministic
+// per-shard merge. The partition is identical for every worker and
+// shard count: shard edge lists follow record order, components are
+// edge-order independent, and collectClusters emits a canonical
+// ordering.
+func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []int32, opts HashOptions, st *HashStats) [][]int32 {
 	start := time.Now()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	opts = opts.resolve()
 	var evals []int64
 	if st != nil {
 		if st.Evals == nil {
@@ -70,23 +110,21 @@ func ApplyHashStats(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, rec
 		evals = st.Evals
 	}
 	forest := ppt.NewForest(len(recs))
-	tables := make([]map[uint64]int32, len(hf.Tables))
-	for t := range tables {
-		tables[t] = make(map[uint64]int32, len(recs))
-	}
 	numTables := len(hf.Tables)
 
-	// Precompute every record's bucket keys, in parallel for large
-	// inputs.
-	var keys []uint64
-	var precomputeWall time.Duration
-	var precomputeBusyNS int64
-	if len(recs) >= parallelHashThreshold && workers > 1 {
+	// parWall/parBusyNS track the wall time spent inside the parallel
+	// sections and the matching summed worker busy time, so Work can
+	// charge concurrent sections by busy time and sequential ones once.
+	var parWall time.Duration
+	var parBusyNS int64
+
+	if len(recs) >= opts.MinParallel && opts.Workers > 1 && numTables > 0 {
+		// Stage 1: precompute every record's bucket keys in parallel.
 		pw0 := time.Now()
-		keys = make([]uint64, len(recs)*numTables)
+		keys := make([]uint64, len(recs)*numTables)
 		var wg sync.WaitGroup
-		chunk := (len(recs) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
+		chunk := (len(recs) + opts.Workers - 1) / opts.Workers
+		for w := 0; w < opts.Workers; w++ {
 			lo := w * chunk
 			hi := lo + chunk
 			if hi > len(recs) {
@@ -104,45 +142,119 @@ func ApplyHashStats(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, rec
 					scratch.keysFor(recs[li], keys[li*numTables:(li+1)*numTables])
 				}
 				scratch.flushEvals(evals)
-				atomic.AddInt64(&precomputeBusyNS, int64(time.Since(t0)))
+				atomic.AddInt64(&parBusyNS, int64(time.Since(t0)))
 			}(lo, hi)
 		}
 		wg.Wait()
-		precomputeWall = time.Since(pw0)
-	}
 
-	scratch := newKeyScratch(ds, p, hf, cache)
-	rowKeys := make([]uint64, numTables)
-	for li, rec := range recs {
-		row := rowKeys
-		if keys != nil {
-			row = keys[li*numTables : (li+1)*numTables]
-		} else {
-			scratch.keysFor(rec, row)
+		// Stage 2: sharded bucket insertion. Shard s owns the buckets
+		// whose key hashes to it; each shard walks the key matrix in
+		// (record, table) order — the serial insertion order — so its
+		// bucket maps hold exactly the serial tables' buckets for its
+		// key slice, and its edge list is deterministic.
+		edgesByShard := make([][]mergeEdge, opts.Shards)
+		for s := 0; s < opts.Shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				t0 := time.Now()
+				edgesByShard[s] = shardEdges(keys, len(recs), numTables, s, opts.Shards)
+				atomic.AddInt64(&parBusyNS, int64(time.Since(t0)))
+			}(s)
 		}
-		for t, key := range row {
-			li32 := int32(li)
-			last, occupied := tables[t][key]
-			if !forest.InTree(li) {
-				forest.MakeTree(li) // cases 1 and 3 of Figure 19
-			}
-			if occupied {
-				ra, rb := forest.Root(int(last)), forest.Root(li)
-				if ra != rb {
-					forest.Merge(ra, rb) // case 3/4 merge
+		wg.Wait()
+		parWall = time.Since(pw0)
+
+		// Stage 3: sequential reduce. Only this goroutine touches the
+		// forest (the ppt concurrency contract). Every record was
+		// inserted into numTables > 0 buckets, so all get trees, as on
+		// the serial path; the merge order (shard-major, then edge
+		// order) differs from serial, but connected components are
+		// edge-order independent and collectClusters canonicalizes.
+		for li := range recs {
+			forest.MakeTree(li)
+		}
+		for _, edges := range edgesByShard {
+			for _, e := range edges {
+				if ra, rb := forest.Root(int(e.a)), forest.Root(int(e.b)); ra != rb {
+					forest.Merge(ra, rb)
 				}
 			}
-			// The bucket remembers the record last added: starting the
-			// root walk from it keeps paths short (Appendix B.2).
-			tables[t][key] = li32
 		}
+	} else {
+		// Serial path: one pass in record order, inserting into
+		// per-table bucket maps and merging on occupied buckets.
+		tables := make([]map[uint64]int32, numTables)
+		for t := range tables {
+			tables[t] = make(map[uint64]int32, len(recs))
+		}
+		scratch := newKeyScratch(ds, p, hf, cache)
+		rowKeys := make([]uint64, numTables)
+		for li, rec := range recs {
+			scratch.keysFor(rec, rowKeys)
+			for t, key := range rowKeys {
+				li32 := int32(li)
+				last, occupied := tables[t][key]
+				if !forest.InTree(li) {
+					forest.MakeTree(li) // cases 1 and 3 of Figure 19
+				}
+				if occupied {
+					ra, rb := forest.Root(int(last)), forest.Root(li)
+					if ra != rb {
+						forest.Merge(ra, rb) // case 3/4 merge
+					}
+				}
+				// The bucket remembers the record last added: starting the
+				// root walk from it keeps paths short (Appendix B.2).
+				tables[t][key] = li32
+			}
+		}
+		scratch.flushEvals(evals)
 	}
-	scratch.flushEvals(evals)
 	out := collectClusters(forest, recs)
 	if st != nil {
-		st.Work += time.Since(start) - precomputeWall + time.Duration(atomic.LoadInt64(&precomputeBusyNS))
+		st.Work += time.Since(start) - parWall + time.Duration(atomic.LoadInt64(&parBusyNS))
 	}
 	return out
+}
+
+// mergeEdge is one bucket collision between two local indices into
+// recs: a was in the bucket, b joined it.
+type mergeEdge struct{ a, b int32 }
+
+// keyShard routes a bucket key to its owning shard. The key is mixed
+// once more before the modulo: bucket keys are FNV combinations whose
+// low bits alone are not uniform enough to balance shards.
+func keyShard(key uint64, shards int) int {
+	return int(xhash.SplitMix64(key) % uint64(shards))
+}
+
+// shardEdges runs bucket insertion for one shard: it scans the
+// (record-major) key matrix, keeps per-table bucket maps restricted to
+// the shard's keys, and returns the bucket-collision edges in
+// insertion order. Each bucket map entry holds the last record added,
+// exactly as on the serial path.
+func shardEdges(keys []uint64, numRecs, numTables, shard, shards int) []mergeEdge {
+	var edges []mergeEdge
+	maps := make([]map[uint64]int32, numTables)
+	for li := 0; li < numRecs; li++ {
+		row := keys[li*numTables : (li+1)*numTables]
+		for t, key := range row {
+			if keyShard(key, shards) != shard {
+				continue
+			}
+			m := maps[t]
+			if m == nil {
+				m = make(map[uint64]int32)
+				maps[t] = m
+			}
+			if last, occupied := m[key]; occupied {
+				edges = append(edges, mergeEdge{a: last, b: int32(li)})
+			}
+			m[key] = int32(li)
+		}
+	}
+	return edges
 }
 
 // keyScratch computes a record's bucket keys, either through the
@@ -176,9 +288,10 @@ func (s *keyScratch) keysFor(rec int32, out []uint64) {
 	if s.cache == nil {
 		r := &s.ds.Records[rec]
 		for h, n := range s.hf.FuncsPerHasher {
-			for fn := 0; fn < n; fn++ {
-				s.buf[h][fn] = s.p.Hashers[h].Hash(fn, r)
+			if n == 0 {
+				continue
 			}
+			lshfamily.HashRange(s.p.Hashers[h], 0, n, r, s.buf[h])
 			s.evals[h] += int64(n)
 		}
 	}

@@ -60,6 +60,23 @@ func (p *PStable) Hash(fn int, r *record.Record) uint64 {
 	return uint64(int64(math.Floor(dot / p.bucket)))
 }
 
+// HashBatch implements BatchHasher: the vector field is resolved and
+// dimension-checked once for the whole range.
+func (p *PStable) HashBatch(lo, hi int, r *record.Record, out []uint64) {
+	v := r.Fields[p.field].(record.Vector)
+	if len(v) != p.dim {
+		panic(fmt.Sprintf("lshfamily: p-stable dim %d applied to vector of dim %d", p.dim, len(v)))
+	}
+	for fn := lo; fn < hi; fn++ {
+		plane := p.planes[fn]
+		dot := p.offsets[fn]
+		for d, x := range v {
+			dot += x * plane[d]
+		}
+		out[fn-lo] = uint64(int64(math.Floor(dot / p.bucket)))
+	}
+}
+
 // P implements Hasher: the E2LSH collision probability at scaled
 // distance x.
 func (p *PStable) P(x float64) float64 {

@@ -1,0 +1,155 @@
+package shingle
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// splitDoc turns fuzzer-provided text into a token sequence the way the
+// dataset builders do, so the fuzzers exercise realistic inputs without
+// constraining the corpus.
+func splitDoc(s string) []string {
+	return strings.Fields(s)
+}
+
+// checkSet asserts the record.Set invariants every shingler must
+// produce: strictly increasing (sorted and de-duplicated) elements.
+func checkSet(t *testing.T, label string, s []uint64) {
+	t.Helper()
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("%s: set not strictly increasing at %d: %d <= %d", label, i, s[i], s[i-1])
+		}
+	}
+}
+
+// FuzzWords hammers the w-shingler: no panics for any document and any
+// small window, deterministic output, valid set invariants, and the
+// documented shingle count.
+func FuzzWords(f *testing.F) {
+	f.Add("the quick brown fox jumps over the lazy dog", 3)
+	f.Add("a a a a a", 2)
+	f.Add("", 1)
+	f.Add("single", 4)
+	f.Add("\x00\xff weird \t tokens \n here", 2)
+	f.Fuzz(func(t *testing.T, doc string, w int) {
+		words := splitDoc(doc)
+		w = w&7 + 1 // window in [1, 8]
+		got := Words(words, w)
+		checkSet(t, "Words", got)
+		again := Words(words, w)
+		if !reflect.DeepEqual(again, got) {
+			t.Fatal("Words not deterministic")
+		}
+		switch {
+		case len(words) == 0:
+			if len(got) != 0 {
+				t.Fatalf("empty doc produced %d shingles", len(got))
+			}
+		case len(words) < w:
+			if len(got) != 1 {
+				t.Fatalf("short doc produced %d shingles, want 1", len(got))
+			}
+		default:
+			// At most one shingle per window position; duplicates may
+			// collapse.
+			if max := len(words) - w + 1; len(got) > max {
+				t.Fatalf("%d shingles from %d windows", len(got), max)
+			}
+		}
+		// Tokens is the w=1 special case up to hashing scheme: both must
+		// yield one element per distinct token slot at most.
+		if tok := Tokens(words); len(tok) > len(words) {
+			t.Fatalf("Tokens produced %d elements from %d tokens", len(tok), len(words))
+		}
+	})
+}
+
+// FuzzChars checks the character n-gram shingler: no panics on
+// arbitrary (including invalid UTF-8) strings, determinism, set
+// invariants, and the gram-count bound.
+func FuzzChars(f *testing.F) {
+	f.Add("hello world", 3)
+	f.Add("", 2)
+	f.Add("ab", 5)
+	f.Add("\xf0\x28\x8c\x28 invalid utf8", 4)
+	f.Fuzz(func(t *testing.T, s string, n int) {
+		n = n&7 + 1 // gram size in [1, 8]
+		got := Chars(s, n)
+		checkSet(t, "Chars", got)
+		if !reflect.DeepEqual(Chars(s, n), got) {
+			t.Fatal("Chars not deterministic")
+		}
+		if len(s) < n {
+			if len(got) != 1 {
+				t.Fatalf("short string produced %d grams, want 1", len(got))
+			}
+		} else if max := len(s) - n + 1; len(got) > max {
+			t.Fatalf("%d grams from %d positions", len(got), max)
+		}
+	})
+}
+
+// FuzzSimHash checks the simhash fingerprinter: no panics, determinism,
+// the exact requested width (including multi-lane widths beyond 64),
+// order-independence in the token multiset, and zeroed padding bits in
+// the last word.
+func FuzzSimHash(f *testing.F) {
+	f.Add("some document with several tokens", 64)
+	f.Add("x", 1)
+	f.Add("", 128)
+	f.Add("a b c d e f g", 100)
+	f.Fuzz(func(t *testing.T, doc string, width int) {
+		tokens := splitDoc(doc)
+		width = width&255 + 1 // width in [1, 256]
+		got := SimHash(tokens, width)
+		if got.Width != width {
+			t.Fatalf("width %d, want %d", got.Width, width)
+		}
+		if want := (width + 63) / 64; len(got.Words) != want {
+			t.Fatalf("%d words for width %d, want %d", len(got.Words), width, want)
+		}
+		if rem := width % 64; rem != 0 {
+			if pad := got.Words[len(got.Words)-1] >> rem; pad != 0 {
+				t.Fatalf("padding bits set above width %d", width)
+			}
+		}
+		if !reflect.DeepEqual(SimHash(tokens, width), got) {
+			t.Fatal("SimHash not deterministic")
+		}
+		// The vote accumulation is token-order independent.
+		if len(tokens) > 1 {
+			rev := make([]string, len(tokens))
+			for i, tok := range tokens {
+				rev[len(tokens)-1-i] = tok
+			}
+			if !reflect.DeepEqual(SimHash(rev, width), got) {
+				t.Fatal("SimHash depends on token order")
+			}
+		}
+	})
+}
+
+// FuzzSpots checks spot-signature extraction: no panics for arbitrary
+// documents and chain parameters, determinism, set invariants, and that
+// a document without antecedents yields no signatures.
+func FuzzSpots(f *testing.F) {
+	f.Add("the quick brown fox is a very lazy animal that can jump", 1, 2)
+	f.Add("", 1, 1)
+	f.Add("is is is is", 2, 3)
+	f.Add("no stopword tokens here", 1, 2)
+	f.Fuzz(func(t *testing.T, doc string, dist, chain int) {
+		words := splitDoc(doc)
+		cfg := SpotConfig{SpotDistance: dist&3 + 1, ChainLength: chain&3 + 1}
+		got := Spots(words, cfg)
+		checkSet(t, "Spots", got)
+		if !reflect.DeepEqual(Spots(words, cfg), got) {
+			t.Fatal("Spots not deterministic")
+		}
+		// One candidate signature per antecedent occurrence at most.
+		if len(got) > len(words) {
+			t.Fatalf("%d signatures from %d tokens", len(got), len(words))
+		}
+	})
+}

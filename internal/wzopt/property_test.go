@@ -1,0 +1,352 @@
+package wzopt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// Property tests: rather than checking specific solver answers, these
+// sweep families of Program 1-10 instances and assert the structural
+// invariants every solution must satisfy — budget identities, threshold
+// constraints, monotonicity of the collision-probability curves, and
+// that relaxing the integer-divisor restriction never hurts.
+
+// pFamilies are base collision-probability curves spanning the families
+// the plans use: linear (MinHash/hyperplane), convex, and concave.
+var pFamilies = []struct {
+	name string
+	p    func(x float64) float64
+}{
+	{"linear", func(x float64) float64 { return 1 - x }},
+	{"convex", func(x float64) float64 { return (1 - x) * (1 - x) }},
+	{"cosine", func(x float64) float64 { return math.Cos(x * math.Pi / 2) }},
+}
+
+// TestSchemeProbMonotone: for any fixed scheme, the collision
+// probability 1-(1-p^w)^z (times the remainder factor) is non-decreasing
+// in the base probability p; composed with any non-increasing p(x) the
+// scheme's collision probability is therefore non-increasing in
+// distance, which is what makes threshold constraints meaningful.
+func TestSchemeProbMonotone(t *testing.T) {
+	schemes := []Scheme{
+		{W: 1, Z: 1}, {W: 1, Z: 64}, {W: 8, Z: 1}, {W: 4, Z: 16},
+		{W: 16, Z: 8}, {W: 5, Z: 7, WRem: 3}, {W: 32, Z: 2, WRem: 1},
+	}
+	const steps = 400
+	for _, s := range schemes {
+		prev := s.Prob(0)
+		if prev < -1e-12 || prev > 1+1e-12 {
+			t.Fatalf("%v: Prob(0) = %v outside [0,1]", s, prev)
+		}
+		for i := 1; i <= steps; i++ {
+			p := float64(i) / steps
+			cur := s.Prob(p)
+			if cur < prev-1e-12 {
+				t.Fatalf("%v: Prob not monotone at p=%g: %v < %v", s, p, cur, prev)
+			}
+			if cur < -1e-12 || cur > 1+1e-12 {
+				t.Fatalf("%v: Prob(%g) = %v outside [0,1]", s, p, cur)
+			}
+			prev = cur
+		}
+		// Endpoints: p=0 never collides (some table must fully match),
+		// p=1 always collides.
+		if got := s.Prob(0); got != 0 {
+			t.Fatalf("%v: Prob(0) = %v, want 0", s, got)
+		}
+		if got := s.Prob(1); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("%v: Prob(1) = %v, want 1", s, got)
+		}
+	}
+	// Distance monotonicity through each p family.
+	s := Scheme{W: 6, Z: 10}
+	for _, fam := range pFamilies {
+		prev := s.Prob(fam.p(0))
+		for i := 1; i <= steps; i++ {
+			x := float64(i) / steps
+			cur := s.Prob(fam.p(x))
+			if cur > prev+1e-12 {
+				t.Fatalf("%s: collision probability increased with distance at x=%g", fam.name, x)
+			}
+			prev = cur
+		}
+	}
+}
+
+// checkScheme asserts the Program 1-3 feasibility invariants of a
+// single-field solution against its problem.
+func checkScheme(t *testing.T, label string, pr Problem, s Scheme) {
+	t.Helper()
+	if s.W < max(1, pr.MinW) || s.Z < max(1, pr.MinZ) {
+		t.Fatalf("%s: scheme %v violates MinW=%d/MinZ=%d", label, s, pr.MinW, pr.MinZ)
+	}
+	if s.WRem < 0 || s.WRem >= s.W {
+		t.Fatalf("%s: scheme %v remainder outside [0, w)", label, s)
+	}
+	if s.WRem != 0 && !pr.AllowRemainder {
+		t.Fatalf("%s: scheme %v has a remainder without AllowRemainder", label, s)
+	}
+	if got := s.W*s.Z + s.WRem; got != pr.Budget {
+		t.Fatalf("%s: scheme %v uses %d functions, budget %d", label, s, got, pr.Budget)
+	}
+	if s.Objective < 0 || s.Objective > 1 {
+		t.Fatalf("%s: objective %v outside [0,1]", label, s.Objective)
+	}
+}
+
+// TestSolveOutputsFeasible sweeps Program 1-3 instances across budgets,
+// thresholds, slacks and p families and asserts every solution honors
+// its own constraints: budget identity, bounds, and collision
+// probability at the threshold of at least 1 - epsilon.
+func TestSolveOutputsFeasible(t *testing.T) {
+	for _, fam := range pFamilies {
+		for _, budget := range []int{1, 2, 7, 16, 60, 128, 509} {
+			for _, dthr := range []float64{0.05, 0.2, 0.4, 0.6} {
+				for _, eps := range []float64{0.05, 0.15, 0.4} {
+					for _, rem := range []bool{false, true} {
+						pr := Problem{P: fam.p, DThr: dthr, Epsilon: eps, Budget: budget, AllowRemainder: rem}
+						label := fmt.Sprintf("%s/b=%d/d=%g/e=%g/rem=%v", fam.name, budget, dthr, eps, rem)
+						s, err := Solve(pr)
+						if err != nil {
+							if !errors.Is(err, ErrInfeasible) {
+								t.Fatalf("%s: %v", label, err)
+							}
+						} else {
+							checkScheme(t, label, pr, s)
+							if got := s.Prob(pr.P(pr.DThr)); got < 1-eps-1e-12 {
+								t.Fatalf("%s: threshold constraint violated: Prob=%v < %v", label, got, 1-eps)
+							}
+						}
+						// The relaxed solver must always produce a
+						// budget-respecting scheme, feasible or not.
+						rs, rerr := SolveRelaxed(pr)
+						if rerr != nil {
+							t.Fatalf("%s: SolveRelaxed: %v", label, rerr)
+						}
+						checkScheme(t, label+"/relaxed", pr, rs)
+						if err == nil {
+							// When the strict program is feasible the
+							// relaxed solver must return the same optimum.
+							if rs != s {
+								t.Fatalf("%s: relaxed %v != strict %v on a feasible instance", label, rs, s)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRemainderNeverWorse: AllowRemainder strictly enlarges the
+// candidate set (every integer-divisor scheme is still a candidate), so
+// whenever the integer-divisor program is feasible the remainder
+// extension must be feasible too, with an objective at least as small.
+func TestRemainderNeverWorse(t *testing.T) {
+	for _, fam := range pFamilies {
+		for _, budget := range []int{6, 10, 17, 23, 60, 127, 510} {
+			for _, dthr := range []float64{0.1, 0.3, 0.5} {
+				for _, eps := range []float64{0.1, 0.3} {
+					base := Problem{P: fam.p, DThr: dthr, Epsilon: eps, Budget: budget}
+					label := fmt.Sprintf("%s/b=%d/d=%g/e=%g", fam.name, budget, dthr, eps)
+					ints, ierr := Solve(base)
+					ext := base
+					ext.AllowRemainder = true
+					rems, rerr := Solve(ext)
+					if ierr == nil {
+						if rerr != nil {
+							t.Fatalf("%s: integer-divisor feasible but remainder extension infeasible: %v", label, rerr)
+						}
+						if rems.Objective > ints.Objective+1e-12 {
+							t.Fatalf("%s: remainder objective %v worse than integer %v",
+								label, rems.Objective, ints.Objective)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveAndOutputsFeasible sweeps two-field Program 4-6 instances:
+// every solution must satisfy (w+u)*z == budget, the per-field bounds,
+// and the AND threshold constraint.
+func TestSolveAndOutputsFeasible(t *testing.T) {
+	for _, fam := range pFamilies {
+		for _, budget := range []int{4, 12, 24, 60, 96} {
+			for _, eps := range []float64{0.1, 0.3} {
+				pr := AndProblem{
+					P1: fam.p, P2: func(x float64) float64 { return 1 - x },
+					DThr1: 0.3, DThr2: 0.2, Epsilon: eps, Budget: budget,
+				}
+				label := fmt.Sprintf("%s/b=%d/e=%g", fam.name, budget, eps)
+				s, err := SolveAnd(pr)
+				if err != nil {
+					if !errors.Is(err, ErrInfeasible) {
+						t.Fatalf("%s: %v", label, err)
+					}
+					// The relaxed variant must still produce a valid
+					// allocation.
+					rs, rerr := SolveAndRelaxed(pr)
+					if rerr != nil {
+						t.Fatalf("%s: SolveAndRelaxed: %v", label, rerr)
+					}
+					s = rs
+				} else {
+					if got := s.Prob(pr.P1(pr.DThr1), pr.P2(pr.DThr2)); got < 1-eps-1e-12 {
+						t.Fatalf("%s: AND threshold constraint violated: %v < %v", label, got, 1-eps)
+					}
+					if s.Objective < 0 || s.Objective > 1 {
+						t.Fatalf("%s: objective %v outside [0,1]", label, s.Objective)
+					}
+				}
+				if s.W < 1 || s.U < 1 || s.Z < 1 {
+					t.Fatalf("%s: degenerate scheme %v", label, s)
+				}
+				if got := (s.W + s.U) * s.Z; got != budget {
+					t.Fatalf("%s: scheme %v uses %d functions, budget %d", label, s, got, budget)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveOrOutputsFeasible sweeps Program 7-10 instances: sub-budgets
+// must sum to the budget and EACH field's sub-scheme must alone satisfy
+// its own threshold constraint (the defining property of the OR
+// construction).
+func TestSolveOrOutputsFeasible(t *testing.T) {
+	for _, fam := range pFamilies {
+		for _, budget := range []int{8, 20, 64, 200} {
+			pr := OrProblem{
+				P1: fam.p, P2: func(x float64) float64 { return 1 - x },
+				DThr1: 0.3, DThr2: 0.25, Epsilon: 0.2, Budget: budget,
+			}
+			label := fmt.Sprintf("%s/b=%d", fam.name, budget)
+			s, err := SolveOr(pr)
+			if err != nil {
+				if !errors.Is(err, ErrInfeasible) {
+					t.Fatalf("%s: %v", label, err)
+				}
+				continue
+			}
+			if got := s.Field1.Budget + s.Field2.Budget; got != budget {
+				t.Fatalf("%s: sub-budgets %d+%d != %d", label, s.Field1.Budget, s.Field2.Budget, budget)
+			}
+			if got := s.Field1.W*s.Field1.Z + s.Field1.WRem; got != s.Field1.Budget {
+				t.Fatalf("%s: field1 %v uses %d of %d", label, s.Field1, got, s.Field1.Budget)
+			}
+			if got := s.Field2.W*s.Field2.Z + s.Field2.WRem; got != s.Field2.Budget {
+				t.Fatalf("%s: field2 %v uses %d of %d", label, s.Field2, got, s.Field2.Budget)
+			}
+			if got := s.Field1.Prob(pr.P1(pr.DThr1)); got < 1-pr.Epsilon-1e-12 {
+				t.Fatalf("%s: field1 sub-constraint violated: %v", label, got)
+			}
+			if got := s.Field2.Prob(pr.P2(pr.DThr2)); got < 1-pr.Epsilon-1e-12 {
+				t.Fatalf("%s: field2 sub-constraint violated: %v", label, got)
+			}
+			// Factorized objective: 1 - (1-O1)(1-O2).
+			want := 1 - (1-s.Field1.Objective)*(1-s.Field2.Objective)
+			if math.Abs(s.Objective-want) > 1e-12 {
+				t.Fatalf("%s: objective %v != factorized %v", label, s.Objective, want)
+			}
+		}
+	}
+}
+
+// TestSolveAndNOutputsFeasible sweeps N-way AND instances (Appendix
+// C.4): the budget identity sum(w_i)*z == budget and per-field lower
+// bounds must hold for every solution, including the relaxed fallback;
+// with a generous slack the threshold constraint must hold too.
+func TestSolveAndNOutputsFeasible(t *testing.T) {
+	specs := []FieldSpec{
+		{P: func(x float64) float64 { return 1 - x }, DThr: 0.2},
+		{P: func(x float64) float64 { return (1 - x) * (1 - x) }, DThr: 0.15},
+		{P: func(x float64) float64 { return math.Cos(x * math.Pi / 2) }, DThr: 0.25},
+	}
+	for nf := 2; nf <= 3; nf++ {
+		for _, budget := range []int{6, 12, 24, 48} {
+			for _, eps := range []float64{0.3, 0.6} {
+				pr := AndNProblem{Fields: specs[:nf], Epsilon: eps, Budget: budget}
+				label := fmt.Sprintf("n=%d/b=%d/e=%g", nf, budget, eps)
+				s, err := SolveAndN(pr)
+				if err != nil {
+					if !errors.Is(err, ErrInfeasible) {
+						t.Fatalf("%s: %v", label, err)
+					}
+					continue
+				}
+				if len(s.W) != nf || s.Z < 1 {
+					t.Fatalf("%s: malformed scheme %v", label, s)
+				}
+				sum := 0
+				for i, w := range s.W {
+					if w < 1 {
+						t.Fatalf("%s: field %d got %d functions", label, i, w)
+					}
+					sum += w
+				}
+				if got := sum * s.Z; got != budget {
+					t.Fatalf("%s: scheme %v uses %d functions, budget %d", label, s, got, budget)
+				}
+				pThr := make([]float64, nf)
+				for i, f := range pr.Fields {
+					pThr[i] = f.P(f.DThr)
+				}
+				// eps=0.6 with these budgets is comfortably feasible, so
+				// the solution cannot be the relaxed fallback and must
+				// honor the constraint.
+				if eps == 0.6 {
+					if got := s.Prob(pThr); got < 1-eps-1e-12 {
+						t.Fatalf("%s: threshold constraint violated: %v < %v", label, got, 1-eps)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveOrNOutputsFeasible sweeps N-way OR instances: sub-budgets
+// must not exceed the total and each sub-scheme must satisfy its own
+// budget identity; on instances where the DP succeeds, each field's
+// threshold constraint holds.
+func TestSolveOrNOutputsFeasible(t *testing.T) {
+	specs := []FieldSpec{
+		{P: func(x float64) float64 { return 1 - x }, DThr: 0.25},
+		{P: func(x float64) float64 { return 1 - x }, DThr: 0.3},
+		{P: func(x float64) float64 { return (1 - x) * (1 - x) }, DThr: 0.2},
+	}
+	for nf := 2; nf <= 3; nf++ {
+		for _, budget := range []int{16, 64, 192} {
+			pr := OrNProblem{Fields: specs[:nf], Epsilon: 0.2, Budget: budget}
+			label := fmt.Sprintf("n=%d/b=%d", nf, budget)
+			s, err := SolveOrN(pr)
+			if err != nil {
+				if !errors.Is(err, ErrInfeasible) {
+					t.Fatalf("%s: %v", label, err)
+				}
+				continue
+			}
+			if len(s.Schemes) != nf {
+				t.Fatalf("%s: got %d sub-schemes", label, len(s.Schemes))
+			}
+			total := 0
+			prod := 1.0
+			for i, sub := range s.Schemes {
+				if got := sub.W*sub.Z + sub.WRem; got != sub.Budget {
+					t.Fatalf("%s: field %d scheme %v uses %d of %d", label, i, sub, got, sub.Budget)
+				}
+				total += sub.Budget
+				prod *= 1 - sub.Objective
+			}
+			if total > budget {
+				t.Fatalf("%s: sub-budgets sum to %d > budget %d", label, total, budget)
+			}
+			if math.Abs(s.Objective-(1-prod)) > 1e-12 {
+				t.Fatalf("%s: objective %v != factorized %v", label, s.Objective, 1-prod)
+			}
+		}
+	}
+}
