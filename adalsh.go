@@ -33,6 +33,7 @@ import (
 	"github.com/topk-er/adalsh/internal/blocking"
 	"github.com/topk-er/adalsh/internal/core"
 	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/planio"
 	"github.com/topk-er/adalsh/internal/record"
 )
@@ -179,6 +180,12 @@ type Config struct {
 	// OnRound, when non-nil, receives a progress snapshot after every
 	// adaptive round — hook for logging or progress display.
 	OnRound func(RoundInfo)
+	// Obs, when non-nil, receives per-stage spans (wall/busy time,
+	// worker and wave counts) and work counters (hash evaluations,
+	// bucket collisions, pair comparisons, merges, ...) as the run
+	// progresses. Use NewStatsCollector for in-memory aggregation or
+	// NewStatsWriter for JSON-lines streaming; nil costs nothing.
+	Obs StatsSink
 }
 
 // options converts the public config to core options.
@@ -186,9 +193,40 @@ func (c Config) options() core.Options {
 	return core.Options{
 		K: c.K, ReturnClusters: c.ReturnClusters,
 		Workers: c.Workers, HashShards: c.HashShards,
-		OnRound: c.OnRound,
+		OnRound: c.OnRound, Obs: c.Obs,
 	}
 }
+
+// StatsSink receives stage spans and counter deltas from instrumented
+// runs. Implementations must be safe for concurrent use; a nil sink
+// disables reporting at (near) zero cost.
+type StatsSink = obs.Sink
+
+// StatsSpan is one completed stage-scoped measurement: wall time,
+// cumulative busy (work) time, worker and wave counts, input size.
+type StatsSpan = obs.Span
+
+// StatsCounter identifies one monotonic work counter (its String is the
+// stable snake_case name used in JSON output).
+type StatsCounter = obs.Counter
+
+// StatsCollector is the in-memory StatsSink: atomic counters plus a
+// span log, with per-stage aggregation helpers.
+type StatsCollector = obs.Collector
+
+// NewStatsCollector creates an empty in-memory stats collector.
+func NewStatsCollector() *StatsCollector { return obs.NewCollector() }
+
+// StatsWriter is the streaming StatsSink: one JSON object per span or
+// counter event, written to the underlying writer as it happens.
+type StatsWriter = obs.JSONL
+
+// NewStatsWriter creates a JSON-lines stats sink over w.
+func NewStatsWriter(w io.Writer) *StatsWriter { return obs.NewJSONL(w) }
+
+// TeeStats combines several sinks into one, dropping nils (e.g. an
+// in-memory collector plus a JSON-lines stream).
+func TeeStats(sinks ...StatsSink) StatsSink { return obs.Tee(sinks...) }
 
 // NewPlan designs the Adaptive LSH plan for a dataset and rule. The
 // rule may be a single MatchThreshold, a MatchWeightedAverage, or a
@@ -263,13 +301,14 @@ func FilterLSH(ds *Dataset, rule Rule, x int, cfg Config) (*Result, error) {
 	return blocking.LSHX(ds, rule, blocking.LSHXOptions{
 		X: x, K: cfg.K, ReturnClusters: cfg.ReturnClusters,
 		Workers: cfg.Workers, HashShards: cfg.HashShards, Seed: cfg.Sequence.Seed,
+		Obs: cfg.Obs,
 	})
 }
 
 // FilterPairs runs the exact baseline: all pairwise distances with
 // transitive skipping. Quadratic; intended for evaluation.
 func FilterPairs(ds *Dataset, rule Rule, cfg Config) (*Result, error) {
-	return blocking.Pairs(ds, rule, cfg.K, cfg.ReturnClusters, cfg.Workers)
+	return blocking.PairsObs(ds, rule, cfg.K, cfg.ReturnClusters, cfg.Workers, cfg.Obs)
 }
 
 // Stream answers repeated top-k queries over a growing dataset,

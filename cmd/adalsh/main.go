@@ -28,6 +28,7 @@ import (
 	adalsh "github.com/topk-er/adalsh"
 	"github.com/topk-er/adalsh/internal/dsio"
 	"github.com/topk-er/adalsh/internal/metrics"
+	"github.com/topk-er/adalsh/internal/profiling"
 	"github.com/topk-er/adalsh/internal/rulespec"
 )
 
@@ -46,12 +47,24 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit a JSON report")
 	planIn := flag.String("plan", "", "load a previously saved plan instead of designing one (-method ada)")
 	planOut := flag.String("save-plan", "", "save the designed plan to this file (-method ada)")
+	pprofPath := flag.String("pprof", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	tracePath := flag.String("trace", "", "write an execution trace of the run to this file (inspect with go tool trace)")
+	statsJSON := flag.String("stats-json", "", "stream per-stage spans and work counters as JSON lines to this file (- for stderr)")
 	flag.Parse()
 
 	if *input == "" || *ruleStr == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	stopProf, err := profiling.Start(*pprofPath, *tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+	}()
 	in := os.Stdin
 	if *input != "-" {
 		f, err := os.Open(*input)
@@ -75,6 +88,27 @@ func main() {
 		Workers: *workers, HashShards: *hashShards,
 		Sequence: adalsh.SequenceConfig{Seed: *seed},
 	}
+	var statsSink *adalsh.StatsWriter
+	if *statsJSON != "" {
+		out := os.Stderr
+		if *statsJSON != "-" {
+			f, err := os.Create(*statsJSON)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		statsSink = adalsh.NewStatsWriter(out)
+		cfg.Obs = statsSink
+	}
+	defer func() {
+		if statsSink != nil {
+			if err := statsSink.Err(); err != nil {
+				log.Fatalf("writing -stats-json: %v", err)
+			}
+		}
+	}()
 	var res *adalsh.Result
 	switch *method {
 	case "ada":

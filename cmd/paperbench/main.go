@@ -4,24 +4,34 @@
 // Usage:
 //
 //	paperbench [-fig fig9a] [-quick] [-skip-images] [-seed N] [-workers N] [-md]
+//	           [-stats-json DIR] [-pprof FILE] [-trace FILE]
 //
-// With no -fig, every figure is regenerated in order. -quick trims the
+// With no -fig, every figure is regenerated in order; -fig none skips
+// the figures entirely (useful with -stats-json). -quick trims the
 // sweeps (fewer k values, 1x/2x scales only) for a fast sanity pass.
 // -md emits GitHub-flavored markdown instead of aligned text.
+//
+// -stats-json DIR additionally runs the instrumented serial-vs-parallel
+// benchmark per dataset and writes one machine-readable BENCH_<dataset>.json
+// each (per-stage wall/work breakdowns, ModelCost, HashEvals, work
+// counters, speedup vs the serial run). The serial and parallel counter
+// sets must be identical; the command fails if they diverge.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/topk-er/adalsh/internal/experiments"
+	"github.com/topk-er/adalsh/internal/profiling"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure ID to regenerate (default: all); see -list")
+	fig := flag.String("fig", "", "figure ID to regenerate (default: all; none to skip figures); see -list")
 	list := flag.Bool("list", false, "list available figure IDs and exit")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast pass")
 	skipImages := flag.Bool("skip-images", false, "skip the PopularImages figures (slowest datasets)")
@@ -29,6 +39,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for pairwise/hashing stages (0 = serial, keeping work counters hardware-independent)")
 	hashShards := flag.Int("hash-shards", 0, "bucket-map shards of the parallel hash stage (0 = workers)")
 	md := flag.Bool("md", false, "emit markdown tables")
+	statsJSON := flag.String("stats-json", "", "directory for machine-readable BENCH_<dataset>.json reports (runs the serial-vs-parallel benchmark)")
+	pprofPath := flag.String("pprof", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	tracePath := flag.String("trace", "", "write an execution trace of the run to this file (inspect with go tool trace)")
 	flag.Parse()
 
 	if *list {
@@ -37,16 +50,21 @@ func main() {
 		}
 		return
 	}
+	stopProf, err := profiling.Start(*pprofPath, *tracePath)
+	if err != nil {
+		fatal(err)
+	}
 
 	p := experiments.NewProvider(*seed)
 	p.Workers = *workers
 	p.HashShards = *hashShards
 	start := time.Now()
 	var tables []*experiments.Table
-	var err error
-	if *fig == "" {
+	switch *fig {
+	case "none":
+	case "":
 		tables, err = experiments.RunAll(p, *quick, *skipImages)
-	} else {
+	default:
 		for _, id := range strings.Split(*fig, ",") {
 			var ts []*experiments.Table
 			ts, err = experiments.Run(p, strings.TrimSpace(id), *quick)
@@ -64,8 +82,58 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
-		os.Exit(1)
+		stopProf()
+		fatal(err)
+	}
+
+	if *statsJSON != "" {
+		if err := writeBenchReports(p, *statsJSON, *quick, *skipImages, *workers, *hashShards); err != nil {
+			stopProf()
+			fatal(err)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 	fmt.Printf("total wall time: %.1fs\n", time.Since(start).Seconds())
+}
+
+// writeBenchReports runs the instrumented serial-vs-parallel benchmark
+// and writes one BENCH_<dataset>.json per dataset into dir, enforcing
+// the counter-determinism contract.
+func writeBenchReports(p *experiments.Provider, dir string, quick, skipImages bool, workers, hashShards int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	reports, err := experiments.BenchAll(p, quick, skipImages, workers, hashShards)
+	if err != nil {
+		return err
+	}
+	for _, rep := range reports {
+		if bad := rep.CounterMismatch(); len(bad) > 0 {
+			return fmt.Errorf("bench %s: serial and parallel counters diverge: %s",
+				rep.Dataset, strings.Join(bad, ", "))
+		}
+		path := filepath.Join(dir, "BENCH_"+rep.Dataset+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("bench %s: %d records, serial %.1fms, parallel %.1fms (%d workers, %.2fx) -> %s\n",
+			rep.Dataset, rep.Records, rep.Serial.ElapsedMS, rep.Parallel.ElapsedMS,
+			rep.Parallel.Workers, rep.SpeedupVsSerial, path)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+	os.Exit(1)
 }

@@ -14,10 +14,10 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"time"
 
 	"github.com/topk-er/adalsh/internal/core"
 	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/ppt"
 	"github.com/topk-er/adalsh/internal/record"
 )
@@ -45,6 +45,9 @@ type LSHXOptions struct {
 	// Epsilon and Seed mirror core.SequenceConfig.
 	Epsilon float64
 	Seed    uint64
+	// Obs receives per-stage spans and work counters for the run
+	// (core.Options.Obs semantics); nil disables reporting.
+	Obs obs.Sink
 }
 
 func (o LSHXOptions) khat() int {
@@ -88,7 +91,7 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 	if plan.L() != 1 {
 		return nil, fmt.Errorf("blocking: LSH-X plan must have exactly one function, got %d", plan.L())
 	}
-	start := time.Now()
+	rt := obs.StartStage(opts.Obs, obs.StageBlocking)
 	res := &core.Result{}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -108,16 +111,25 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 	var hashStats core.HashStats
 	hashStats.Evals = make([]int64, len(plan.Hashers))
 	var stage1 [][]int32
+	ht := obs.StartStage(opts.Obs, obs.StageHash)
 	if ds.Len() > 0 {
 		hopts := core.HashOptions{Workers: workers, Shards: opts.HashShards}
 		stage1 = core.ApplyHashOpt(ds, plan, plan.Funcs[0], nil, all, hopts, &hashStats)
 	}
+	ht.Workers = workers
+	ht.Items = ds.Len()
+	ht.Work = hashStats.Work
 	res.Stats.HashEvals = hashStats.Evals
-	res.Stats.HashWall = time.Since(start)
+	res.Stats.HashWall = ht.End()
 	res.Stats.HashWork = hashStats.Work
+	var evals int64
 	for h, n := range res.Stats.HashEvals {
 		res.Stats.ModelCost += float64(n) * plan.Cost.CostFunc[h]
+		evals += n
 	}
+	obs.Count(opts.Obs, obs.CtrHashEvals, evals)
+	obs.Count(opts.Obs, obs.CtrBucketCollisions, hashStats.Collisions)
+	obs.Count(opts.Obs, obs.CtrMerges, hashStats.Merges)
 	res.Stats.HashRounds = 1
 
 	khat := opts.khat()
@@ -152,12 +164,26 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 			res.Stats.PairwiseWall += pst.Wall
 			res.Stats.PairwiseWork += pst.Work
 			res.Stats.ModelCost += float64(pst.PairsComputed) * plan.Cost.CostP
+			if opts.Obs != nil {
+				opts.Obs.Span(obs.Span{
+					Stage: obs.StagePairwise, Wall: pst.Wall, Work: pst.Work,
+					Workers: pst.Workers, Waves: pst.Waves, Items: len(c.recs),
+				})
+				opts.Obs.Count(obs.CtrPairComparisons, pst.PairsComputed)
+				opts.Obs.Count(obs.CtrMerges, pst.Merges)
+			}
 			for _, recs := range subs {
 				bins.Add(&candidate{recs: recs, verified: true})
 			}
 		}
 	}
-	finishResult(res, start)
+	obs.Count(opts.Obs, obs.CtrClustersEmitted, int64(len(res.Clusters)))
+	rt.Workers = workers
+	rt.Items = ds.Len()
+	rt.Work = rt.Elapsed() - (res.Stats.HashWall + res.Stats.PairwiseWall) +
+		(res.Stats.HashWork + res.Stats.PairwiseWork)
+	finishResult(res)
+	res.Stats.Elapsed = rt.End()
 	return res, nil
 }
 
@@ -167,6 +193,13 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 // GOMAXPROCS, 1 forces the serial path); the output is identical for
 // every value.
 func Pairs(ds *record.Dataset, rule distance.Rule, k, returnClusters, workers int) (*core.Result, error) {
+	return PairsObs(ds, rule, k, returnClusters, workers, nil)
+}
+
+// PairsObs is Pairs with an observability sink: the run is reported as
+// one StageBlocking span containing one StagePairwise span, plus the
+// pairwise counters. A nil sink makes it identical to Pairs.
+func PairsObs(ds *record.Dataset, rule distance.Rule, k, returnClusters, workers int, sink obs.Sink) (*core.Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("blocking: K = %d, want >= 1", k)
 	}
@@ -174,7 +207,7 @@ func Pairs(ds *record.Dataset, rule distance.Rule, k, returnClusters, workers in
 	if returnClusters > k {
 		khat = returnClusters
 	}
-	start := time.Now()
+	rt := obs.StartStage(sink, obs.StageBlocking)
 	all := make([]int32, ds.Len())
 	for i := range all {
 		all[i] = int32(i)
@@ -187,6 +220,14 @@ func Pairs(ds *record.Dataset, rule distance.Rule, k, returnClusters, workers in
 		res.Stats.PairwiseWork = pst.Work
 		res.Stats.Workers = pst.Workers
 		res.Stats.PairwiseRounds = 1
+		if sink != nil {
+			sink.Span(obs.Span{
+				Stage: obs.StagePairwise, Wall: pst.Wall, Work: pst.Work,
+				Workers: pst.Workers, Waves: pst.Waves, Items: ds.Len(),
+			})
+			sink.Count(obs.CtrPairComparisons, pst.PairsComputed)
+			sink.Count(obs.CtrMerges, pst.Merges)
+		}
 		sortBySize(clusters)
 		for _, recs := range clusters {
 			if len(res.Clusters) == khat {
@@ -194,8 +235,13 @@ func Pairs(ds *record.Dataset, rule distance.Rule, k, returnClusters, workers in
 			}
 			res.Clusters = append(res.Clusters, core.Cluster{Records: recs, ByPairwise: true})
 		}
+		rt.Workers = pst.Workers
 	}
-	finishResult(res, start)
+	obs.Count(sink, obs.CtrClustersEmitted, int64(len(res.Clusters)))
+	rt.Items = ds.Len()
+	rt.Work = rt.Elapsed() - res.Stats.PairwiseWall + res.Stats.PairwiseWork
+	finishResult(res)
+	res.Stats.Elapsed = rt.End()
 	return res, nil
 }
 
@@ -220,10 +266,9 @@ func sortBySize(clusters [][]int32) {
 	})
 }
 
-func finishResult(res *core.Result, start time.Time) {
+func finishResult(res *core.Result) {
 	for _, c := range res.Clusters {
 		res.Output = append(res.Output, c.Records...)
 	}
 	sort.Slice(res.Output, func(i, j int) bool { return res.Output[i] < res.Output[j] })
-	res.Stats.Elapsed = time.Since(start)
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/ppt"
 	"github.com/topk-er/adalsh/internal/record"
 )
@@ -36,6 +37,18 @@ type Options struct {
 	// hash stage stays serial (0 means the built-in default). Mainly
 	// for tests and tuning.
 	HashMinParallel int
+	// PairwiseMinPairs overrides the candidate-pair floor below which
+	// the pairwise stage stays serial (PairwiseOptions.MinPairs
+	// semantics; 0 means the built-in default). Pin it above any
+	// cluster's pair count to keep PairsComputed byte-identical to a
+	// serial run while the hash stage still fans out.
+	PairwiseMinPairs int64
+
+	// Obs, when non-nil, receives stage-scoped spans and work counters
+	// (hash evaluations, cache hits/misses, bucket collisions, pair
+	// comparisons, merges, re-hash rounds) as the run progresses. The
+	// nil default is free; see internal/obs for the sinks.
+	Obs obs.Sink
 
 	// Ablation knobs — these disable individual design choices so
 	// their contribution can be measured (see the Ablation benchmarks
@@ -196,7 +209,7 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 	if err := plan.CompatibleWith(ds); err != nil {
 		return err
 	}
-	start := time.Now()
+	runTimer := obs.StartStage(opts.Obs, obs.StageFilter)
 	khat := opts.khat()
 	L := plan.L()
 	var cache *Cache
@@ -215,10 +228,47 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		workers = runtime.GOMAXPROCS(0)
 	}
 	stats.Workers = workers
-	popts := PairwiseOptions{Workers: workers, NoSkip: opts.DisableTransitiveSkip}
+	popts := PairwiseOptions{Workers: workers, NoSkip: opts.DisableTransitiveSkip, MinPairs: opts.PairwiseMinPairs}
 	hopts := HashOptions{Workers: workers, Shards: opts.HashShards, MinParallel: opts.HashMinParallel}
 	var hashStats HashStats
 	hashStats.Evals = make([]int64, len(plan.Hashers))
+
+	// Observability baselines: counters report per-run deltas even when
+	// the cache is long-lived (the Stream reuses one across queries).
+	evalsTotal := func() int64 {
+		if cache != nil {
+			return cache.TotalEvals()
+		}
+		var t int64
+		for _, n := range hashStats.Evals {
+			t += n
+		}
+		return t
+	}
+	var baseHits, baseMisses int64
+	if cache != nil {
+		baseHits, baseMisses = cache.Lookups()
+	}
+	// hashRound runs one transitive hashing round under a StageHash
+	// span, feeding both Stats (wall/work/rounds) and the sink's
+	// counters — the span timer is the single source of the round's
+	// wall time.
+	hashRound := func(recs []int32, hf *HashFunc) [][]int32 {
+		prevWork := hashStats.Work
+		prevColl, prevMerges := hashStats.Collisions, hashStats.Merges
+		prevEvals := evalsTotal()
+		ht := obs.StartStage(opts.Obs, obs.StageHash)
+		subs := ApplyHashOpt(ds, plan, hf, cache, recs, hopts, &hashStats)
+		ht.Workers = workers
+		ht.Items = len(recs)
+		ht.Work = hashStats.Work - prevWork
+		stats.HashWall += ht.End()
+		stats.HashRounds++
+		obs.Count(opts.Obs, obs.CtrHashEvals, evalsTotal()-prevEvals)
+		obs.Count(opts.Obs, obs.CtrBucketCollisions, hashStats.Collisions-prevColl)
+		obs.Count(opts.Obs, obs.CtrMerges, hashStats.Merges-prevMerges)
+		return subs
+	}
 
 	// Round 0: H_1 over the whole dataset (Algorithm 1 line 1).
 	all := make([]int32, ds.Len())
@@ -239,10 +289,7 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		})
 	}
 	if ds.Len() > 0 {
-		hw0 := time.Now()
-		first := ApplyHashOpt(ds, plan, plan.Funcs[0], cache, all, hopts, &hashStats)
-		stats.HashWall += time.Since(hw0)
-		stats.HashRounds++
+		first := hashRound(all, plan.Funcs[0])
 		stats.ModelCost += plan.Cost.StepCost(plan.Funcs[0], nil) * float64(ds.Len())
 		for _, recs := range first {
 			bins.Add(&workCluster{recs: recs, level: 1, final: L == 1})
@@ -263,6 +310,7 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 				out.Level = c.level
 			}
 			emitted++
+			obs.Count(opts.Obs, obs.CtrClustersEmitted, 1)
 			notify("final", len(c.recs), out.Level)
 			if !emit(out) {
 				break
@@ -277,16 +325,24 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 			stats.PairwiseWall += pst.Wall
 			stats.PairwiseWork += pst.Work
 			stats.ModelCost += float64(pst.PairsComputed) * plan.Cost.CostP
+			if opts.Obs != nil {
+				// ApplyPairwiseOpt measured itself; forward its stats as
+				// the round's span rather than timing it twice.
+				opts.Obs.Span(obs.Span{
+					Stage: obs.StagePairwise, Wall: pst.Wall, Work: pst.Work,
+					Workers: pst.Workers, Waves: pst.Waves, Items: len(c.recs),
+				})
+				opts.Obs.Count(obs.CtrPairComparisons, pst.PairsComputed)
+				opts.Obs.Count(obs.CtrMerges, pst.Merges)
+			}
 			for _, recs := range subs {
 				bins.Add(&workCluster{recs: recs, final: true, byP: true})
 			}
 			notify("pairwise", len(c.recs), t)
 		} else {
 			next := plan.Funcs[t] // H_{t+1} (0-based index t)
-			hw0 := time.Now()
-			subs := ApplyHashOpt(ds, plan, next, cache, c.recs, hopts, &hashStats)
-			stats.HashWall += time.Since(hw0)
-			stats.HashRounds++
+			subs := hashRound(c.recs, next)
+			obs.Count(opts.Obs, obs.CtrRehashRounds, 1)
 			// Incremental computation pays only for the prefix
 			// extension H_t -> H_{t+1}; with the cache disabled every
 			// base hash of H_{t+1} is recomputed from scratch and the
@@ -305,6 +361,9 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 	}
 	if cache != nil {
 		stats.HashEvals = cache.HashEvals()
+		hits, misses := cache.Lookups()
+		obs.Count(opts.Obs, obs.CtrCacheHits, hits-baseHits)
+		obs.Count(opts.Obs, obs.CtrCacheMisses, misses-baseMisses)
 	} else {
 		// Streaming runs (DisableHashCache) did real hashing work too:
 		// the per-worker scratches counted every streamed base-hash
@@ -312,6 +371,11 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		stats.HashEvals = hashStats.Evals
 	}
 	stats.HashWork = hashStats.Work
-	stats.Elapsed = time.Since(start)
+	// The whole-run span charges the concurrent stages by busy time and
+	// everything else (design lookups, bin maintenance, reduction) once.
+	runTimer.Workers = workers
+	runTimer.Items = ds.Len()
+	runTimer.Work = runTimer.Elapsed() - (stats.HashWall + stats.PairwiseWall) + (stats.HashWork + stats.PairwiseWork)
+	stats.Elapsed = runTimer.End()
 	return nil
 }

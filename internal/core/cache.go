@@ -30,6 +30,10 @@ type Cache struct {
 	// evals[h] counts base hash evaluations per hasher (for cost
 	// accounting and the experiments' work metrics).
 	evals []int64
+	// hits/misses count Ensure lookups fully served from the memoized
+	// prefix vs. lookups that had to extend it (the obs cache
+	// counters). Atomic, same as evals: workers Ensure concurrently.
+	hits, misses int64
 }
 
 // NewCache creates an empty cache for the dataset over n hashers.
@@ -47,8 +51,10 @@ func NewCache(ds *record.Dataset, numHashers int) *Cache {
 func (c *Cache) Ensure(p *Plan, h, rec, n int) []uint64 {
 	cur := c.vals[h][rec]
 	if len(cur) >= n {
+		atomic.AddInt64(&c.hits, 1)
 		return cur[:n]
 	}
+	atomic.AddInt64(&c.misses, 1)
 	if cap(cur) < n {
 		grown := make([]uint64, len(cur), n)
 		copy(grown, cur)
@@ -84,6 +90,12 @@ func (c *Cache) TotalEvals() int64 {
 		t += atomic.LoadInt64(&c.evals[h])
 	}
 	return t
+}
+
+// Lookups reports how many Ensure calls were served entirely from the
+// memoized prefixes (hits) and how many had to extend one (misses).
+func (c *Cache) Lookups() (hits, misses int64) {
+	return atomic.LoadInt64(&c.hits), atomic.LoadInt64(&c.misses)
 }
 
 // Prefix reports how many functions of hasher h are cached for rec.

@@ -30,6 +30,38 @@ type CostModel struct {
 // parameter, per Section 4.1 ("estimated using 100 samples each").
 const costSamples = 100
 
+// minCalibrateWindow is the minimum wall time a calibration measurement
+// must span before dividing by the evaluation count. On platforms with
+// coarse timers (millisecond-class granularity), a single 100-sample
+// batch of cheap evaluations can elapse a measured zero, collapsing
+// CostP/CostFunc to their floor constants and destroying the
+// CostP/CostFunc ratio the line-5 decision depends on. Repeating the
+// deterministic sample batch until the window is filled keeps the
+// estimates finite, positive and stable.
+const minCalibrateWindow = time.Millisecond
+
+// maxCalibrateBatches bounds the batch repetition (safety net against
+// pathological clocks); 1<<14 batches of 100 samples keep calibration
+// well under a second even at ~30ns per evaluation.
+const maxCalibrateBatches = 1 << 14
+
+// timeBatches repeatedly runs a deterministic batch of batchLen
+// evaluations until at least minCalibrateWindow of wall time has
+// elapsed (or maxCalibrateBatches ran), then returns the mean seconds
+// per evaluation.
+func timeBatches(batchLen int, batch func()) float64 {
+	start := time.Now()
+	done := 0
+	for i := 0; i < maxCalibrateBatches; i++ {
+		batch()
+		done += batchLen
+		if time.Since(start) >= minCalibrateWindow {
+			break
+		}
+	}
+	return time.Since(start).Seconds() / float64(done)
+}
+
 // Cost returns the per-record cost of applying H_i from scratch
 // (Definition 3's cost_i) under this model.
 func (m CostModel) Cost(hf *HashFunc) float64 {
@@ -75,8 +107,10 @@ func (m CostModel) PreferPairwise(p *Plan, t, n int) bool {
 
 // Calibrate measures CostP and CostFunc on the actual dataset with
 // deterministic sampling: 100 random pairs for CostP and 100 random
-// (record, function) evaluations per hasher for CostFunc. Tiny
-// datasets repeat samples; empty inputs yield safe defaults.
+// (record, function) evaluations per hasher for CostFunc, each batch
+// repeated until the measurement spans at least minCalibrateWindow of
+// wall time (see timeBatches). Tiny datasets repeat samples; empty
+// inputs yield safe defaults.
 func Calibrate(ds *record.Dataset, rule distance.Rule, hashers []lshfamily.Hasher, seed uint64) CostModel {
 	m := CostModel{CostFunc: make([]float64, len(hashers))}
 	n := ds.Len()
@@ -92,12 +126,12 @@ func Calibrate(ds *record.Dataset, rule distance.Rule, hashers []lshfamily.Hashe
 			}
 			pairs[i] = pair{a, b}
 		}
-		start := time.Now()
 		sink := false
-		for _, pr := range pairs {
-			sink = sink != rule.Match(&ds.Records[pr.a], &ds.Records[pr.b])
-		}
-		m.CostP = time.Since(start).Seconds() / costSamples
+		m.CostP = timeBatches(len(pairs), func() {
+			for _, pr := range pairs {
+				sink = sink != rule.Match(&ds.Records[pr.a], &ds.Records[pr.b])
+			}
+		})
 		_ = sink
 	}
 	if m.CostP <= 0 {
@@ -113,12 +147,12 @@ func Calibrate(ds *record.Dataset, rule distance.Rule, hashers []lshfamily.Hashe
 		for i := range samples {
 			samples[i] = sample{rng.Intn(n), rng.Intn(hasher.MaxFunctions())}
 		}
-		start := time.Now()
 		var sink uint64
-		for _, s := range samples {
-			sink ^= hasher.Hash(s.fn, &ds.Records[s.rec])
-		}
-		m.CostFunc[h] = time.Since(start).Seconds() / costSamples
+		m.CostFunc[h] = timeBatches(len(samples), func() {
+			for _, s := range samples {
+				sink ^= hasher.Hash(s.fn, &ds.Records[s.rec])
+			}
+		})
 		_ = sink
 		if m.CostFunc[h] <= 0 {
 			m.CostFunc[h] = 1e-10

@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// calibrationDataset builds a small Jaccard dataset with enough set
+// elements that rule and hash evaluations do measurable work.
+func calibrationDataset(seed uint64, n int) *record.Dataset {
+	rng := xhash.NewRNG(seed)
+	ds := &record.Dataset{Name: "calibration"}
+	for i := 0; i < n; i++ {
+		elems := make([]uint64, 60)
+		for j := range elems {
+			elems[j] = rng.Uint64()
+		}
+		ds.Add(-1, record.NewSet(elems))
+	}
+	return ds
+}
+
+// TestCalibrateStable pins down the coarse-timer fix: Calibrate must
+// repeat its sample batches until the measurement spans a real wall
+// interval, so CostP and CostFunc are finite, strictly positive (not
+// the 1e-9/1e-10 degenerate floors a zero-elapsed division used to
+// collapse to), and the CostP/CostFunc ratio — the quantity the
+// Algorithm 1 line-5 decision depends on — is stable across runs.
+func TestCalibrateStable(t *testing.T) {
+	ds := calibrationDataset(29, 64)
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := make([]float64, 2)
+	for run := range ratios {
+		m := core.Calibrate(ds, jaccardRule(), plan.Hashers, 41)
+		if math.IsNaN(m.CostP) || math.IsInf(m.CostP, 0) || m.CostP <= 0 {
+			t.Fatalf("run %d: CostP = %v", run, m.CostP)
+		}
+		// The floor constants only appear when a measurement collapsed
+		// to zero elapsed time — exactly the bug the batching fixes.
+		if m.CostP == 1e-9 {
+			t.Fatalf("run %d: CostP collapsed to the 1e-9 floor", run)
+		}
+		for h, c := range m.CostFunc {
+			if math.IsNaN(c) || math.IsInf(c, 0) || c <= 0 {
+				t.Fatalf("run %d: CostFunc[%d] = %v", run, h, c)
+			}
+			if c == 1e-10 {
+				t.Fatalf("run %d: CostFunc[%d] collapsed to the 1e-10 floor", run, h)
+			}
+		}
+		ratios[run] = m.CostP / m.CostFunc[0]
+	}
+	// The ratio drives the pairwise-vs-rehash decision; scheduling
+	// jitter moves it a little between runs, never by an order of
+	// magnitude now that each measurement spans a real interval.
+	lo, hi := ratios[0], ratios[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi/lo > 10 {
+		t.Fatalf("CostP/CostFunc ratio unstable across runs: %v vs %v", ratios[0], ratios[1])
+	}
+}

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/obs"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// obsPlan builds the shared problem instance. The plan must be built
+// once and reused across runs under comparison: DesignPlan calibrates
+// the cost model by timing real hash evaluations, so two separate
+// plans can put the advance-vs-verify boundary in different places
+// and legitimately take different adaptive paths.
+func obsPlan(t *testing.T) (*record.Dataset, *core.Plan) {
+	t.Helper()
+	ds := clusteredSetDataset(t, []int{40, 30, 20, 12, 8, 5, 3, 2}, 83)
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, plan
+}
+
+// obsFilter runs one instrumented filter and returns the collector.
+func obsFilter(t *testing.T, ds *record.Dataset, plan *core.Plan, opts core.Options) *obs.Collector {
+	t.Helper()
+	col := obs.NewCollector()
+	opts.K = 3
+	opts.Obs = col
+	if _, err := core.Filter(ds, plan, opts); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// TestObsCountersSerialParallelIdentical is the determinism contract
+// behind the BENCH_*.json reports: a serial run and a parallel run of
+// the same filtering problem must report identical work counters
+// through the obs sink. The parallel run forces the parallel hash path
+// (HashMinParallel 1) and pins the pairwise stage serial
+// (PairwiseMinPairs) — its parallel path is allowed to overcount a few
+// pairs per wave, which is exactly why the BENCH harness pins it.
+func TestObsCountersSerialParallelIdentical(t *testing.T) {
+	ds, plan := obsPlan(t)
+	serial := obsFilter(t, ds, plan, core.Options{Workers: 1})
+	parallel := obsFilter(t, ds, plan, core.Options{
+		Workers: 4, HashMinParallel: 1, PairwiseMinPairs: 1 << 62,
+	})
+	s, p := serial.Counters(), parallel.Counters()
+	if len(s) == 0 {
+		t.Fatal("serial run reported no counters")
+	}
+	for _, c := range []obs.Counter{
+		obs.CtrHashEvals, obs.CtrBucketCollisions, obs.CtrMerges,
+		obs.CtrPairComparisons, obs.CtrCacheHits, obs.CtrCacheMisses,
+		obs.CtrRehashRounds, obs.CtrClustersEmitted,
+	} {
+		if sv, pv := serial.Counter(c), parallel.Counter(c); sv != pv {
+			t.Errorf("%s: serial %d, parallel %d", c, sv, pv)
+		}
+	}
+	if len(s) != len(p) {
+		t.Errorf("counter sets differ: serial %v, parallel %v", s, p)
+	}
+}
+
+// TestObsSpansCoverStages checks the span taxonomy of a filter run:
+// one whole-run filter span, one hash span per hash round, one
+// pairwise span per pairwise round, and sane invariants (wall > 0,
+// work normalized, the filter span's wall bounding every stage's).
+func TestObsSpansCoverStages(t *testing.T) {
+	ds, plan := obsPlan(t)
+	col := obsFilter(t, ds, plan, core.Options{Workers: 1})
+	var filterSpans, hashSpans, pairwiseSpans int
+	var filterWall time.Duration
+	for _, sp := range col.Spans() {
+		switch sp.Stage {
+		case obs.StageFilter:
+			filterSpans++
+			filterWall = sp.Wall
+		case obs.StageHash:
+			hashSpans++
+		case obs.StagePairwise:
+			pairwiseSpans++
+		default:
+			t.Errorf("unexpected stage %s in a filter run", sp.Stage)
+		}
+		if sp.Wall <= 0 {
+			t.Errorf("%s span has non-positive wall %v", sp.Stage, sp.Wall)
+		}
+		if sp.Workers < 1 {
+			t.Errorf("%s span has %d workers", sp.Stage, sp.Workers)
+		}
+	}
+	if filterSpans != 1 {
+		t.Fatalf("got %d filter spans, want 1", filterSpans)
+	}
+	if hashSpans < 1 || pairwiseSpans < 1 {
+		t.Fatalf("got %d hash and %d pairwise spans, want >= 1 each", hashSpans, pairwiseSpans)
+	}
+	if int(col.Counter(obs.CtrRehashRounds)) != hashSpans-1 {
+		t.Errorf("rehash_rounds = %d with %d hash spans (round one is not a re-hash)",
+			col.Counter(obs.CtrRehashRounds), hashSpans)
+	}
+	hw, _, _ := col.StageAgg(obs.StageHash)
+	pw, _, _ := col.StageAgg(obs.StagePairwise)
+	if hw+pw > filterWall {
+		t.Errorf("stage walls %v+%v exceed the filter span's wall %v", hw, pw, filterWall)
+	}
+}

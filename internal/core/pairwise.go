@@ -39,6 +39,12 @@ type PairwiseOptions struct {
 	// Section 6.1's optimization (2)): every pair's distance is
 	// computed, even between records already connected.
 	NoSkip bool
+	// MinPairs overrides the candidate-pair floor below which the
+	// serial path is used (0 means the built-in 8192 default). Pin it
+	// above |S|(|S|-1)/2 to force the serial path regardless of
+	// Workers — the BENCH reports do this so PairsComputed stays
+	// byte-identical to a serial run while the hash stage fans out.
+	MinPairs int64
 }
 
 // PairwiseStats describes the measured work of one pairwise
@@ -61,6 +67,12 @@ type PairwiseStats struct {
 	// Workers is the effective worker count (1 when the input was
 	// below the parallel threshold).
 	Workers int
+	// Merges counts successful parent-pointer-tree merges. The count is
+	// evaluation-order independent (every merge reduces the component
+	// count by one), so it is identical for every worker count.
+	Merges int64
+	// Waves counts parallel dispatch waves (0 on the serial path).
+	Waves int
 }
 
 // ApplyPairwise is the pairwise computation function P (Definition 2):
@@ -97,7 +109,11 @@ func ApplyPairwiseOpt(ds *record.Dataset, rule distance.Rule, recs []int32, opts
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if totalPairs := int64(n) * int64(n-1) / 2; totalPairs < pairwiseParallelThreshold {
+	minPairs := opts.MinPairs
+	if minPairs <= 0 {
+		minPairs = pairwiseParallelThreshold
+	}
+	if totalPairs := int64(n) * int64(n-1) / 2; totalPairs < minPairs {
 		workers = 1
 	}
 	forest := ppt.NewForest(n)
@@ -111,12 +127,14 @@ func ApplyPairwiseOpt(ds *record.Dataset, rule distance.Rule, recs []int32, opts
 		st.Work = st.Wall
 	} else {
 		var evalWall, evalBusy time.Duration
-		st.PairsComputed, evalWall, evalBusy = pairwiseParallel(ds, rule, recs, forest, !opts.NoSkip, workers)
+		st.PairsComputed, st.Waves, evalWall, evalBusy = pairwiseParallel(ds, rule, recs, forest, !opts.NoSkip, workers)
 		st.Wall = time.Since(start)
 		// Sequential portions count once; the evaluation waves count
 		// their summed worker busy time instead of their wall time.
 		st.Work = st.Wall - evalWall + evalBusy
 	}
+	// Merges are trees minus remaining components — order-independent.
+	st.Merges = int64(n - len(forest.Roots()))
 	return collectClusters(forest, recs), st
 }
 
@@ -160,7 +178,7 @@ type pairIdx struct{ i, j int32 }
 // redundantly only when the merge that closes it lands in the same
 // wave, bounding the extra distances per merge by the wave size; the
 // total can never exceed the |S|(|S|-1)/2 budget of the cost model.
-func pairwiseParallel(ds *record.Dataset, rule distance.Rule, recs []int32, forest *ppt.Forest, skipClosed bool, workers int) (pairsComputed int64, evalWall, evalBusy time.Duration) {
+func pairwiseParallel(ds *record.Dataset, rule distance.Rule, recs []int32, forest *ppt.Forest, skipClosed bool, workers int) (pairsComputed int64, waves int, evalWall, evalBusy time.Duration) {
 	waveCap := workers * pairwiseBlock
 	wave := make([]pairIdx, 0, waveCap)
 	matched := make([]bool, waveCap)
@@ -170,6 +188,7 @@ func pairwiseParallel(ds *record.Dataset, rule distance.Rule, recs []int32, fore
 		if len(wave) == 0 {
 			return
 		}
+		waves++
 		w0 := time.Now()
 		var wg sync.WaitGroup
 		chunk := (len(wave) + workers - 1) / workers
@@ -224,7 +243,7 @@ func pairwiseParallel(ds *record.Dataset, rule distance.Rule, recs []int32, fore
 	}
 	flush()
 	evalBusy = time.Duration(atomic.LoadInt64(&busyNS))
-	return pairsComputed, evalWall, evalBusy
+	return pairsComputed, waves, evalWall, evalBusy
 }
 
 // PairsBetween counts and evaluates matches between two disjoint record

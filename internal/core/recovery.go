@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/record"
 )
 
@@ -34,7 +35,15 @@ type RecoveryResult struct {
 // the output cannot be recovered — as the paper notes, recovery only
 // repairs partially-captured entities.
 func Recover(ds *record.Dataset, rule distance.Rule, clusters [][]int32) *RecoveryResult {
-	start := time.Now()
+	return RecoverObs(ds, rule, clusters, nil)
+}
+
+// RecoverObs is Recover with an observability sink: the pass is
+// reported as one StageRecovery span, plus pair-comparison and
+// records-recovered counters. A nil sink makes it identical to
+// Recover.
+func RecoverObs(ds *record.Dataset, rule distance.Rule, clusters [][]int32, sink obs.Sink) *RecoveryResult {
+	t := obs.StartStage(sink, obs.StageRecovery)
 	res := &RecoveryResult{Clusters: make([][]int32, len(clusters))}
 	inOutput := make(map[int32]bool)
 	for i, c := range clusters {
@@ -70,6 +79,9 @@ func Recover(ds *record.Dataset, rule distance.Rule, clusters [][]int32) *Recove
 	for _, c := range res.Clusters {
 		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
 	}
-	res.Elapsed = time.Since(start)
+	t.Items = ds.Len()
+	res.Elapsed = t.End()
+	obs.Count(sink, obs.CtrPairComparisons, res.PairsComputed)
+	obs.Count(sink, obs.CtrRecovered, int64(res.Recovered))
 	return res
 }

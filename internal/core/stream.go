@@ -2,10 +2,18 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 
 	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/record"
 )
+
+// defaultReplanGrowth is the dataset growth factor past which a stream
+// re-designs its plan: when the stream holds at least this many times
+// the records it had at design time, the next query re-runs scheme
+// selection and cost calibration before filtering.
+const defaultReplanGrowth = 2.0
 
 // Stream answers top-k entity queries over a growing dataset — the
 // online setting the paper sketches as future work in Section 9. The
@@ -15,8 +23,15 @@ import (
 // cost of re-clustering alone, with no re-hashing.
 //
 // The hashing plan is designed lazily at the first query (it needs
-// records for vector dimensions and cost calibration) and kept for the
-// stream's lifetime. Stream is not safe for concurrent use.
+// records for vector dimensions and cost calibration). A plan designed
+// on a small prefix goes stale as records accumulate — the calibrated
+// cost model and the scheme budgets reflect the old dataset — so the
+// stream re-designs it once the dataset grows past a configurable
+// factor (default 2x) of its size at design time. Re-designs preserve
+// the hash cache whenever the re-designed hashers are identical to the
+// old ones (they are, for a fixed rule, seed and field layout: hasher
+// descriptors depend only on those), so amortization survives
+// re-planning. Stream is not safe for concurrent use.
 type Stream struct {
 	rule    distance.Rule
 	cfg     SequenceConfig
@@ -25,6 +40,15 @@ type Stream struct {
 	cache   *Cache
 	workers int
 	shards  int
+	sink    obs.Sink
+
+	// replanGrowth is the growth factor that triggers a re-design (0
+	// means defaultReplanGrowth; +Inf disables re-planning).
+	replanGrowth float64
+	// plannedAt is ds.Len() when the current plan was designed.
+	plannedAt int
+	// replans counts plan re-designs performed so far.
+	replans int
 }
 
 // NewStream creates an empty stream for the given matching rule.
@@ -54,6 +78,32 @@ func (s *Stream) SetWorkers(workers, hashShards int) {
 	s.shards = hashShards
 }
 
+// SetObs attaches an observability sink: each query is reported as a
+// StageStream span wrapping the filter run's own spans and counters,
+// and plan re-designs bump the replans counter. A nil sink detaches.
+func (s *Stream) SetObs(sink obs.Sink) { s.sink = sink }
+
+// SetReplanGrowth sets the dataset growth factor past which a query
+// re-designs the plan. Values <= 1 reset to the default (2); pass
+// math.Inf(1) to pin the first plan for the stream's lifetime (the
+// pre-fix behaviour).
+func (s *Stream) SetReplanGrowth(factor float64) {
+	if factor <= 1 {
+		factor = 0
+	}
+	s.replanGrowth = factor
+}
+
+func (s *Stream) effReplanGrowth() float64 {
+	if s.replanGrowth == 0 {
+		return defaultReplanGrowth
+	}
+	return s.replanGrowth
+}
+
+// Replans reports how many times the stream has re-designed its plan.
+func (s *Stream) Replans() int { return s.replans }
+
 // Len reports the number of records in the stream.
 func (s *Stream) Len() int { return s.ds.Len() }
 
@@ -62,7 +112,8 @@ func (s *Stream) Dataset() *record.Dataset { return s.ds }
 
 // TopK returns the records of the k largest entities among everything
 // added so far. The first call designs the hashing plan; subsequent
-// calls reuse it and all previously computed hash values.
+// calls reuse it (and all previously computed hash values) until the
+// dataset outgrows it.
 func (s *Stream) TopK(k int) (*Result, error) {
 	return s.TopKClusters(k, 0)
 }
@@ -76,19 +127,57 @@ func (s *Stream) TopKClusters(k, returnClusters int) (*Result, error) {
 	if err := s.ds.Validate(); err != nil {
 		return nil, err
 	}
-	if s.plan == nil {
-		plan, err := DesignPlan(s.ds, s.rule, s.cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.plan = plan
-		s.cache = NewCache(s.ds, len(plan.Hashers))
+	qt := obs.StartStage(s.sink, obs.StageStream)
+	if err := s.ensurePlan(); err != nil {
+		return nil, err
 	}
 	s.cache.Grow(s.ds.Len())
-	return Filter(s.ds, s.plan, Options{
+	res, err := Filter(s.ds, s.plan, Options{
 		K: k, ReturnClusters: returnClusters, Cache: s.cache,
-		Workers: s.workers, HashShards: s.shards,
+		Workers: s.workers, HashShards: s.shards, Obs: s.sink,
 	})
+	if err != nil {
+		return nil, err
+	}
+	qt.Workers = res.Stats.Workers
+	qt.Items = s.ds.Len()
+	qt.End()
+	return res, nil
+}
+
+// ensurePlan designs the plan on first use and re-designs it when the
+// dataset has outgrown the design-time size by the configured factor.
+// Re-designs keep the hash cache when the new plan's hasher
+// descriptors are identical to the old ones (the cached base hash
+// values are then still valid — they depend only on the hashers).
+func (s *Stream) ensurePlan() error {
+	if s.plan != nil &&
+		float64(s.ds.Len()) < s.effReplanGrowth()*float64(s.plannedAt) {
+		return nil
+	}
+	plan, err := DesignPlan(s.ds, s.rule, s.cfg)
+	if err != nil {
+		return err
+	}
+	switch {
+	case s.plan == nil:
+		s.cache = NewCache(s.ds, len(plan.Hashers))
+	case reflect.DeepEqual(s.plan.HasherDescs, plan.HasherDescs):
+		// Same hashers — the long-lived cache stays valid; only the
+		// budgets/schemes and the re-calibrated cost model changed.
+		s.replans++
+		obs.Count(s.sink, obs.CtrReplans, 1)
+	default:
+		// The hasher set itself changed (e.g. a different rule-driven
+		// descriptor after growth); cached values are for the old
+		// functions and must be dropped.
+		s.cache = NewCache(s.ds, len(plan.Hashers))
+		s.replans++
+		obs.Count(s.sink, obs.CtrReplans, 1)
+	}
+	s.plan = plan
+	s.plannedAt = s.ds.Len()
+	return nil
 }
 
 // Plan exposes the designed plan (nil before the first query).

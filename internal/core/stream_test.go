@@ -1,9 +1,11 @@
 package core_test
 
 import (
+	"math"
 	"testing"
 
 	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/record"
 	"github.com/topk-er/adalsh/internal/xhash"
 )
@@ -121,6 +123,129 @@ func TestStreamErrors(t *testing.T) {
 	s.Add(record.NewSet([]uint64{2}), record.NewSet([]uint64{3}))
 	if _, err := s.TopK(1); err == nil {
 		t.Fatal("ragged layout accepted")
+	}
+}
+
+// TestStreamReplansOnGrowth pins down the stale-plan fix: a stream
+// whose dataset grows past the re-plan factor re-designs its plan at
+// the next query, keeps the long-lived hash cache when the re-designed
+// hashers are unchanged, and returns exactly the clusters a fresh
+// from-scratch run over the full dataset returns.
+func TestStreamReplansOnGrowth(t *testing.T) {
+	rng := xhash.NewRNG(17)
+	bases := make([][]uint64, 3)
+	for i := range bases {
+		bases[i] = make([]uint64, 40)
+		for j := range bases[i] {
+			bases[i][j] = rng.Uint64()
+		}
+	}
+	s := core.NewStream(jaccardRule(), core.SequenceConfig{Seed: 13})
+	collector := obs.NewCollector()
+	s.SetObs(collector)
+	ds := &record.Dataset{}
+	add := func(ent, count int) {
+		for i := 0; i < count; i++ {
+			set := streamEntity(rng, bases[ent])
+			s.AddWithTruth(ent, set)
+			ds.Add(ent, set)
+		}
+	}
+	add(0, 8)
+	add(1, 4)
+	if _, err := s.TopK(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Replans() != 0 {
+		t.Fatalf("first query counted as a re-plan (%d)", s.Replans())
+	}
+	oldPlan := s.Plan()
+	evalsBefore := s.CachedHashEvals()[0]
+
+	// Triple the dataset: past the default 2x factor, so the next query
+	// must re-design.
+	add(2, 16)
+	add(0, 8)
+	grown, err := s.TopK(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Replans() != 1 {
+		t.Fatalf("Replans = %d after 3x growth, want 1", s.Replans())
+	}
+	if got := collector.Counter(obs.CtrReplans); got != 1 {
+		t.Fatalf("obs replans counter = %d, want 1", got)
+	}
+	if s.Plan() == oldPlan {
+		t.Fatal("plan not re-designed after growth")
+	}
+	// Same rule, seed and field layout give identical hasher
+	// descriptors, so the re-plan must have preserved the cache: the
+	// evaluations spent on the first 12 records survive (the counter
+	// only grows, it is not reset by a cache rebuild).
+	if got := s.CachedHashEvals()[0]; got < evalsBefore {
+		t.Fatalf("re-plan dropped the hash cache: %d -> %d evaluations", evalsBefore, got)
+	}
+
+	// The grown stream's answer equals a from-scratch run on the full
+	// dataset under a freshly designed plan.
+	plan, err := core.DesignPlan(ds, jaccardRule(), core.SequenceConfig{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := core.Filter(ds, plan, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown.Clusters) != len(fresh.Clusters) {
+		t.Fatalf("grown stream returned %d clusters, fresh run %d", len(grown.Clusters), len(fresh.Clusters))
+	}
+	for i := range fresh.Clusters {
+		a, b := grown.Clusters[i].Records, fresh.Clusters[i].Records
+		if len(a) != len(b) {
+			t.Fatalf("cluster %d: stream %d records, fresh %d", i, len(a), len(b))
+		}
+		for j := range b {
+			if a[j] != b[j] {
+				t.Fatalf("cluster %d differs at record %d: %d vs %d", i, j, a[j], b[j])
+			}
+		}
+	}
+
+	// A repeat query without growth must not re-plan again.
+	if _, err := s.TopK(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Replans() != 1 {
+		t.Fatalf("repeat query re-planned (%d)", s.Replans())
+	}
+}
+
+// TestStreamReplanDisabled checks the opt-out: an infinite growth
+// factor pins the first plan for the stream's lifetime.
+func TestStreamReplanDisabled(t *testing.T) {
+	rng := xhash.NewRNG(23)
+	base := make([]uint64, 40)
+	for j := range base {
+		base[j] = rng.Uint64()
+	}
+	s := core.NewStream(jaccardRule(), core.SequenceConfig{Seed: 3})
+	s.SetReplanGrowth(math.Inf(1))
+	for i := 0; i < 4; i++ {
+		s.AddWithTruth(0, streamEntity(rng, base))
+	}
+	if _, err := s.TopK(1); err != nil {
+		t.Fatal(err)
+	}
+	plan := s.Plan()
+	for i := 0; i < 40; i++ {
+		s.AddWithTruth(0, streamEntity(rng, base))
+	}
+	if _, err := s.TopK(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Plan() != plan || s.Replans() != 0 {
+		t.Fatalf("pinned stream re-planned (replans = %d)", s.Replans())
 	}
 }
 

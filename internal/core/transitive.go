@@ -66,6 +66,15 @@ type HashStats struct {
 	// counted once. Work ~= wall on the serial path; Work divided by
 	// the caller-observed wall time is the effective parallel speedup.
 	Work time.Duration
+	// Collisions counts insertions into already-occupied buckets (the
+	// candidate edges of the collision graph). Each occupied insertion
+	// yields exactly one edge on both the serial and the sharded path,
+	// so the count is identical for every worker and shard count.
+	Collisions int64
+	// Merges counts successful parent-pointer-tree merges. Like the
+	// pairwise counter it is order-independent (trees built minus
+	// components left), hence identical for every worker/shard count.
+	Merges int64
 }
 
 // ApplyHash applies transitive hashing function hf to the records in
@@ -117,6 +126,7 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 	// charge concurrent sections by busy time and sequential ones once.
 	var parWall time.Duration
 	var parBusyNS int64
+	var collisions, merges int64
 
 	if len(recs) >= opts.MinParallel && opts.Workers > 1 && numTables > 0 {
 		// Stage 1: precompute every record's bucket keys in parallel.
@@ -175,9 +185,11 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 			forest.MakeTree(li)
 		}
 		for _, edges := range edgesByShard {
+			collisions += int64(len(edges))
 			for _, e := range edges {
 				if ra, rb := forest.Root(int(e.a)), forest.Root(int(e.b)); ra != rb {
 					forest.Merge(ra, rb)
+					merges++
 				}
 			}
 		}
@@ -199,9 +211,11 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 					forest.MakeTree(li) // cases 1 and 3 of Figure 19
 				}
 				if occupied {
+					collisions++
 					ra, rb := forest.Root(int(last)), forest.Root(li)
 					if ra != rb {
 						forest.Merge(ra, rb) // case 3/4 merge
+						merges++
 					}
 				}
 				// The bucket remembers the record last added: starting the
@@ -214,6 +228,8 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 	out := collectClusters(forest, recs)
 	if st != nil {
 		st.Work += time.Since(start) - parWall + time.Duration(atomic.LoadInt64(&parBusyNS))
+		st.Collisions += collisions
+		st.Merges += merges
 	}
 	return out
 }

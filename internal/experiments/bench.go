@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/datasets"
+	"github.com/topk-er/adalsh/internal/obs"
+)
+
+// StageBench is one stage's aggregate in a BenchReport: wall and
+// cumulative busy time summed over the stage's spans.
+type StageBench struct {
+	Stage  string  `json:"stage"`
+	WallMS float64 `json:"wall_ms"`
+	WorkMS float64 `json:"work_ms"`
+	Spans  int     `json:"spans"`
+}
+
+// RunBench is one instrumented filtering run inside a BenchReport.
+type RunBench struct {
+	// Workers is the resolved worker-pool size of the run.
+	Workers int `json:"workers"`
+	// ElapsedMS is the run's wall-clock filtering time.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// ModelCost is the Definition 3 cost of the run.
+	ModelCost float64 `json:"model_cost"`
+	// HashEvals is the total base hash evaluations across hashers.
+	HashEvals int64 `json:"hash_evals"`
+	// PairsComputed counts exact distance evaluations by P.
+	PairsComputed int64 `json:"pairs_computed"`
+	// Stages aggregates the run's spans per stage, stage-name order.
+	Stages []StageBench `json:"stages"`
+	// Counters snapshots every non-zero obs counter by stable name.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// BenchReport is the machine-readable outcome of one paperbench
+// dataset benchmark: the same filtering problem run serially and with
+// a worker pool, with per-stage breakdowns and the work counters of
+// both runs. The counters are deterministic — Parallel.Counters must
+// equal Serial.Counters exactly (the parallel stages do the same
+// logical work; the pairwise stage is pinned serial via
+// PairwiseMinPairs so its comparison count cannot drift).
+type BenchReport struct {
+	Dataset         string   `json:"dataset"`
+	Records         int      `json:"records"`
+	K               int      `json:"k"`
+	Seed            uint64   `json:"seed"`
+	Serial          RunBench `json:"serial"`
+	Parallel        RunBench `json:"parallel"`
+	SpeedupVsSerial float64  `json:"speedup_vs_serial"`
+}
+
+// benchHashMinParallel is the cluster-size floor for the parallel
+// run's hash stage. The built-in floor targets production datasets;
+// the bench datasets sit below it, so the parallel run lowers the bar
+// to actually exercise the parallel hash path (counters are identical
+// either way — that is the contract under test).
+const benchHashMinParallel = 256
+
+// benchRun executes one instrumented filter over the benchmark.
+func benchRun(b *datasets.Benchmark, plan *core.Plan, k, workers, hashShards, hashMin int) (RunBench, error) {
+	col := obs.NewCollector()
+	res, err := core.Filter(b.Dataset, plan, core.Options{
+		K: k, Workers: workers, HashShards: hashShards,
+		HashMinParallel: hashMin,
+		// Pin the pairwise stage serial: its parallel path may compare
+		// a few extra pairs per wave (a merge can land mid-wave), and
+		// BENCH counters are contractually identical across runs.
+		PairwiseMinPairs: 1 << 62,
+		Obs:              col,
+	})
+	if err != nil {
+		return RunBench{}, err
+	}
+	run := RunBench{
+		Workers:       res.Stats.Workers,
+		ElapsedMS:     res.Stats.Elapsed.Seconds() * 1000,
+		ModelCost:     res.Stats.ModelCost,
+		PairsComputed: res.Stats.PairsComputed,
+		Counters:      col.Counters(),
+	}
+	for _, n := range res.Stats.HashEvals {
+		run.HashEvals += n
+	}
+	for s := obs.Stage(0); int(s) < obs.NumStages; s++ {
+		wall, work, spans := col.StageAgg(s)
+		if spans == 0 {
+			continue
+		}
+		run.Stages = append(run.Stages, StageBench{
+			Stage:  s.String(),
+			WallMS: wall.Seconds() * 1000,
+			WorkMS: work.Seconds() * 1000,
+			Spans:  spans,
+		})
+	}
+	return run, nil
+}
+
+// Bench runs the serial-vs-parallel benchmark for one named benchmark
+// dataset. workers <= 1 resolves the parallel run to GOMAXPROCS.
+func Bench(p *Provider, name string, b *datasets.Benchmark, k, workers, hashShards int) (*BenchReport, error) {
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	plan, err := p.Plan(b, core.SequenceConfig{})
+	if err != nil {
+		return nil, err
+	}
+	rep := &BenchReport{
+		Dataset: name, Records: b.Dataset.Len(), K: k, Seed: p.Seed,
+	}
+	if rep.Serial, err = benchRun(b, plan, k, 1, 0, 0); err != nil {
+		return nil, err
+	}
+	if rep.Parallel, err = benchRun(b, plan, k, workers, hashShards, benchHashMinParallel); err != nil {
+		return nil, err
+	}
+	if rep.Parallel.ElapsedMS > 0 {
+		rep.SpeedupVsSerial = rep.Serial.ElapsedMS / rep.Parallel.ElapsedMS
+	}
+	return rep, nil
+}
+
+// CounterMismatch compares the serial and parallel counter snapshots
+// of a report and returns the names that differ (empty means the
+// determinism contract holds).
+func (r *BenchReport) CounterMismatch() []string {
+	var bad []string
+	seen := make(map[string]bool)
+	for name, v := range r.Serial.Counters {
+		seen[name] = true
+		if r.Parallel.Counters[name] != v {
+			bad = append(bad, name)
+		}
+	}
+	for name := range r.Parallel.Counters {
+		if !seen[name] && r.Parallel.Counters[name] != 0 {
+			bad = append(bad, name)
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// BenchAll runs the standard paperbench benchmark suite: one report
+// per dataset. quick trims to the smallest scales.
+func BenchAll(p *Provider, quick bool, skipImages bool, workers, hashShards int) ([]*BenchReport, error) {
+	type entry struct {
+		name string
+		b    *datasets.Benchmark
+		k    int
+	}
+	entries := []entry{
+		{"cora", p.Cora(1), 10},
+		{"spotsigs", p.SpotSigs(1, 0.4), 10},
+	}
+	if !skipImages && !quick {
+		entries = append(entries, entry{"images", p.Images("1.05", 3), 10})
+	}
+	var reports []*BenchReport
+	for _, e := range entries {
+		rep, err := Bench(p, e.name, e.b, e.k, workers, hashShards)
+		if err != nil {
+			return reports, fmt.Errorf("experiments: bench %s: %w", e.name, err)
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchReportDeterministicCounters runs the paperbench
+// serial-vs-parallel benchmark on the smallest dataset and checks the
+// BENCH contract: the parallel run's counters equal the serial run's
+// exactly, and the report round-trips through its JSON form.
+func TestBenchReportDeterministicCounters(t *testing.T) {
+	p := NewProvider(42)
+	rep, err := Bench(p, "cora", p.Cora(1), 10, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad := rep.CounterMismatch(); len(bad) > 0 {
+		t.Fatalf("serial and parallel counters diverge: %v\nserial: %v\nparallel: %v",
+			bad, rep.Serial.Counters, rep.Parallel.Counters)
+	}
+	if rep.Serial.HashEvals == 0 || rep.Serial.PairsComputed == 0 {
+		t.Fatalf("empty serial work accounting: %+v", rep.Serial)
+	}
+	if rep.Serial.Workers != 1 || rep.Parallel.Workers != 4 {
+		t.Fatalf("workers: serial %d, parallel %d", rep.Serial.Workers, rep.Parallel.Workers)
+	}
+	if len(rep.Serial.Stages) == 0 {
+		t.Fatal("serial run recorded no stage spans")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Dataset != "cora" || back.Serial.HashEvals != rep.Serial.HashEvals {
+		t.Fatalf("JSON round-trip mangled the report: %+v", back)
+	}
+}
+
+// TestBenchCounterMismatchDetects checks the mismatch detector itself.
+func TestBenchCounterMismatchDetects(t *testing.T) {
+	rep := &BenchReport{
+		Serial:   RunBench{Counters: map[string]int64{"hash_evals": 10, "merges": 3}},
+		Parallel: RunBench{Counters: map[string]int64{"hash_evals": 11, "replans": 1}},
+	}
+	got := rep.CounterMismatch()
+	want := []string{"hash_evals", "merges", "replans"}
+	if len(got) != len(want) {
+		t.Fatalf("mismatch = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch = %v, want %v", got, want)
+		}
+	}
+}

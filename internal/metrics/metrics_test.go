@@ -107,6 +107,41 @@ func TestSetPRF(t *testing.T) {
 	}
 }
 
+// TestPRFEdgeConventions pins down the 0/0 conventions of the prf
+// assembler for every degenerate shape — these are contractual for the
+// figure tables (an empty-vs-empty comparison must read as perfect,
+// one-sided emptiness as the informative zero, never NaN).
+func TestPRFEdgeConventions(t *testing.T) {
+	cases := []struct {
+		name                    string
+		inter, outSize, truthSz int
+		want                    PRF
+	}{
+		{"both empty: perfect", 0, 0, 0, PRF{Precision: 1, Recall: 1, F1: 1}},
+		{"empty output: nothing claimed, nothing found", 0, 0, 3, PRF{Precision: 1, Recall: 0, F1: 0}},
+		{"empty truth: every claim wrong", 0, 4, 0, PRF{Precision: 0, Recall: 1, F1: 0}},
+		{"disjoint: all zero", 0, 2, 3, PRF{Precision: 0, Recall: 0, F1: 0}},
+		{"regular", 2, 4, 2, PRF{Precision: 0.5, Recall: 1, F1: 2.0 / 3}},
+	}
+	for _, c := range cases {
+		got := prf(c.inter, c.outSize, c.truthSz)
+		if math.IsNaN(got.Precision) || math.IsNaN(got.Recall) || math.IsNaN(got.F1) {
+			t.Errorf("%s: NaN in %+v", c.name, got)
+		}
+		if !almostEq(got.Precision, c.want.Precision) || !almostEq(got.Recall, c.want.Recall) || !almostEq(got.F1, c.want.F1) {
+			t.Errorf("%s: prf(%d,%d,%d) = %+v, want %+v", c.name, c.inter, c.outSize, c.truthSz, got, c.want)
+		}
+	}
+	// The same conventions surface through SetPRF, which also ignores
+	// duplicates on both sides.
+	if p := SetPRF([]int32{7, 7, 7}, nil); p.Precision != 0 || p.Recall != 1 || p.F1 != 0 {
+		t.Errorf("SetPRF(output, empty truth) = %+v", p)
+	}
+	if p := SetPRF([]int32{1, 1, 2, 2}, []int{1, 2, 1, 2}); p.F1 != 1 {
+		t.Errorf("SetPRF with duplicates = %+v, want perfect", p)
+	}
+}
+
 func TestGoldUsesTopKTruth(t *testing.T) {
 	ds := &record.Dataset{}
 	// Entity 0: records 0,1,2; entity 1: records 3,4; entity 2: 5.

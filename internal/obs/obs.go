@@ -1,0 +1,245 @@
+// Package obs is the stage-level observability layer: stage-scoped
+// spans (wall time, cumulative busy time, worker and wave counts) and
+// monotonic work counters (hash evaluations, cache hits, bucket
+// collisions, pair comparisons, merges, ...), reported through a
+// pluggable Sink.
+//
+// The layer is allocation-conscious by construction: a nil Sink is the
+// no-op default and every reporting helper (Count, Timer.End) checks
+// for it once, so instrumented hot paths pay a nil comparison and
+// nothing else. The Timer always measures wall time because callers
+// (core.Stats) need the duration even when no sink is attached — it
+// replaces, rather than duplicates, the hand-rolled time.Now()
+// bookkeeping the stages used before.
+//
+// Counter semantics are deterministic: for a fixed dataset, plan and
+// seed, a serial and a parallel run of the same filter report identical
+// HashEvals/comparison counts (the parallel stages are designed to do
+// the same logical work; see the equivalence tests in internal/core).
+package obs
+
+import "time"
+
+// Stage identifies one instrumented pipeline stage.
+type Stage uint8
+
+const (
+	// StageFilter spans one whole Adaptive LSH filtering run
+	// (core.FilterIncremental).
+	StageFilter Stage = iota
+	// StageHash spans one transitive hashing round (core.ApplyHashOpt).
+	StageHash
+	// StagePairwise spans one pairwise verification round
+	// (core.ApplyPairwiseOpt).
+	StagePairwise
+	// StageRecovery spans one recovery pass (core.Recover).
+	StageRecovery
+	// StageBlocking spans one LSH-X / Pairs baseline run
+	// (internal/blocking).
+	StageBlocking
+	// StageStream spans one streaming top-k query (core.Stream),
+	// including any lazy plan (re-)design.
+	StageStream
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"filter", "hash", "pairwise", "recovery", "blocking", "stream",
+}
+
+// String returns the stable snake_case stage name used by the JSONL
+// sink and the BENCH_*.json reports.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// NumStages is the number of defined stages (for sinks that index by
+// stage).
+const NumStages = int(numStages)
+
+// Counter identifies one monotonic work counter. Counters are additive
+// deltas: sinks accumulate them.
+type Counter uint8
+
+const (
+	// CtrHashEvals counts base hash evaluations (cached and streamed),
+	// summed over hashers.
+	CtrHashEvals Counter = iota
+	// CtrCacheHits counts hash-cache lookups fully served from the
+	// memoized prefix.
+	CtrCacheHits
+	// CtrCacheMisses counts hash-cache lookups that had to extend the
+	// prefix (each miss implies >= 1 hash evaluation).
+	CtrCacheMisses
+	// CtrBucketCollisions counts insertions into an already-occupied
+	// LSH bucket (the candidate edges of the collision graph).
+	CtrBucketCollisions
+	// CtrPairComparisons counts exact pairwise distance evaluations by
+	// the pairwise computation function P and the recovery process.
+	CtrPairComparisons
+	// CtrMerges counts parent-pointer-tree merges (successful
+	// union-find unions) across the hash and pairwise stages. The count
+	// is order-independent: it always equals trees-built minus
+	// components-left.
+	CtrMerges
+	// CtrRehashRounds counts Algorithm 1 rounds that advanced an
+	// existing cluster to the next hashing function (round one over the
+	// whole dataset is not a re-hash).
+	CtrRehashRounds
+	// CtrClustersEmitted counts final top-k clusters emitted.
+	CtrClustersEmitted
+	// CtrRecovered counts records re-attached by the recovery process.
+	CtrRecovered
+	// CtrReplans counts stream plan re-designs triggered by dataset
+	// growth.
+	CtrReplans
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	"hash_evals", "cache_hits", "cache_misses", "bucket_collisions",
+	"pair_comparisons", "merges", "rehash_rounds", "clusters_emitted",
+	"records_recovered", "replans",
+}
+
+// String returns the stable snake_case counter name used by the JSONL
+// sink and the BENCH_*.json reports.
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// NumCounters is the number of defined counters (for sinks that index
+// by counter).
+const NumCounters = int(numCounters)
+
+// Span is one completed stage-scoped measurement.
+type Span struct {
+	// Stage identifies the instrumented stage.
+	Stage Stage
+	// Wall is the stage's elapsed wall-clock time.
+	Wall time.Duration
+	// Work is the stage's cumulative busy time: concurrent sections
+	// summed across workers, sequential sections counted once. Work ==
+	// Wall on serial stages; Work/Wall is the effective parallel
+	// speedup.
+	Work time.Duration
+	// Workers is the resolved worker-pool size of the stage.
+	Workers int
+	// Waves counts internal dispatch waves (0 when the stage has no
+	// wave structure, e.g. a fully serial pass).
+	Waves int
+	// Items counts the stage's input size: records for hash stages,
+	// records of the verified cluster for pairwise stages, dataset
+	// records for whole-run spans.
+	Items int
+}
+
+// Sink receives completed spans and counter deltas. Implementations
+// must be safe for concurrent use: the instrumented stages may report
+// from the goroutine driving a filter run while other runs share the
+// same sink. A nil Sink disables reporting at (near) zero cost.
+type Sink interface {
+	// Count adds delta to counter c.
+	Count(c Counter, delta int64)
+	// Span records one completed span.
+	Span(s Span)
+}
+
+// Count adds delta to counter c on sink, tolerating a nil sink and
+// skipping zero deltas.
+func Count(sink Sink, c Counter, delta int64) {
+	if sink != nil && delta != 0 {
+		sink.Count(c, delta)
+	}
+}
+
+// Timer measures one span in flight. Obtain one with StartStage, fill
+// the exported Span fields the stage knows about (Workers, Waves,
+// Items, Work), then call End.
+type Timer struct {
+	// Span carries the in-flight measurement; Wall is set by End.
+	Span
+	sink  Sink
+	start time.Time
+}
+
+// StartStage starts a span for the stage. The wall clock runs even
+// with a nil sink so End's returned duration can feed the caller's own
+// stats (core.Stats keeps its wall/work fields regardless of sinks).
+func StartStage(sink Sink, stage Stage) Timer {
+	return Timer{Span: Span{Stage: stage}, sink: sink, start: time.Now()}
+}
+
+// Elapsed reports the wall time accumulated so far without ending the
+// span (callers use it to derive the Work field before End).
+func (t *Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// End completes the span, reports it to the sink (if any) and returns
+// the measured wall time. A zero Work field is normalized to the wall
+// time (a stage that never forked is all-sequential), and a zero
+// Workers field to 1.
+func (t *Timer) End() time.Duration {
+	t.Wall = time.Since(t.start)
+	if t.Work == 0 {
+		t.Work = t.Wall
+	}
+	if t.Workers == 0 {
+		t.Workers = 1
+	}
+	if t.sink != nil {
+		t.sink.Span(t.Span)
+	}
+	return t.Wall
+}
+
+// Nop is the explicit no-op Sink: every method does nothing. A nil
+// Sink behaves identically; Nop exists for call sites that want a
+// non-nil default.
+type Nop struct{}
+
+// Count implements Sink.
+func (Nop) Count(Counter, int64) {}
+
+// Span implements Sink.
+func (Nop) Span(Span) {}
+
+// tee fans events out to several sinks.
+type tee []Sink
+
+func (t tee) Count(c Counter, delta int64) {
+	for _, s := range t {
+		s.Count(c, delta)
+	}
+}
+
+func (t tee) Span(sp Span) {
+	for _, s := range t {
+		s.Span(sp)
+	}
+}
+
+// Tee combines sinks into one, dropping nils. It returns nil when no
+// non-nil sink remains and the sink itself when only one does.
+func Tee(sinks ...Sink) Sink {
+	var out tee
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

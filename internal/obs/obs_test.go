@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageAndCounterNames(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < numStages; s++ {
+		name := s.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("stage %d has bad or duplicate name %q", s, name)
+		}
+		seen[name] = true
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatal("out-of-range stage not unknown")
+	}
+	seen = map[string]bool{}
+	for c := Counter(0); c < numCounters; c++ {
+		name := c.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("counter %d has bad or duplicate name %q", c, name)
+		}
+		seen[name] = true
+	}
+	if Counter(200).String() != "unknown" {
+		t.Fatal("out-of-range counter not unknown")
+	}
+}
+
+func TestCountNilSafe(t *testing.T) {
+	Count(nil, CtrHashEvals, 7) // must not panic
+	var nop Nop
+	nop.Count(CtrHashEvals, 7)
+	nop.Span(Span{})
+	c := NewCollector()
+	Count(c, CtrHashEvals, 7)
+	Count(c, CtrHashEvals, 0) // zero deltas are skipped
+	if got := c.Counter(CtrHashEvals); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+}
+
+func TestTimerMeasuresAndReports(t *testing.T) {
+	c := NewCollector()
+	tm := StartStage(c, StageHash)
+	time.Sleep(time.Millisecond)
+	tm.Workers = 4
+	tm.Items = 100
+	wall := tm.End()
+	if wall <= 0 {
+		t.Fatal("non-positive wall time")
+	}
+	spans := c.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("%d spans recorded", len(spans))
+	}
+	s := spans[0]
+	if s.Stage != StageHash || s.Workers != 4 || s.Items != 100 {
+		t.Fatalf("span fields wrong: %+v", s)
+	}
+	if s.Wall != wall {
+		t.Fatalf("span wall %v != returned wall %v", s.Wall, wall)
+	}
+	if s.Work != s.Wall {
+		t.Fatalf("zero Work not normalized to wall: %+v", s)
+	}
+}
+
+func TestTimerNilSinkStillTimes(t *testing.T) {
+	tm := StartStage(nil, StagePairwise)
+	time.Sleep(time.Millisecond)
+	if tm.End() <= 0 {
+		t.Fatal("nil-sink timer returned non-positive wall")
+	}
+}
+
+func TestCollectorAggregation(t *testing.T) {
+	c := NewCollector()
+	c.Span(Span{Stage: StageHash, Wall: 10 * time.Millisecond, Work: 30 * time.Millisecond, Workers: 4})
+	c.Span(Span{Stage: StageHash, Wall: 5 * time.Millisecond, Work: 5 * time.Millisecond, Workers: 1})
+	c.Span(Span{Stage: StagePairwise, Wall: 7 * time.Millisecond, Work: 7 * time.Millisecond, Workers: 1})
+	wall, work, n := c.StageAgg(StageHash)
+	if n != 2 || wall != 15*time.Millisecond || work != 35*time.Millisecond {
+		t.Fatalf("StageAgg(hash) = %v %v %d", wall, work, n)
+	}
+	c.Count(CtrMerges, 3)
+	c.Count(CtrMerges, 2)
+	m := c.Counters()
+	if m["merges"] != 5 {
+		t.Fatalf("Counters() = %v", m)
+	}
+	if _, ok := m["hash_evals"]; ok {
+		t.Fatal("zero counter present in snapshot")
+	}
+	c.Reset()
+	if len(c.Spans()) != 0 || c.Counter(CtrMerges) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Count(CtrPairComparisons, 1)
+				if i%100 == 0 {
+					c.Span(Span{Stage: StagePairwise, Wall: time.Microsecond})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counter(CtrPairComparisons); got != 8000 {
+		t.Fatalf("concurrent counts = %d, want 8000", got)
+	}
+	if got := len(c.Spans()); got != 80 {
+		t.Fatalf("concurrent spans = %d, want 80", got)
+	}
+}
+
+func TestJSONLEvents(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Span(Span{Stage: StageHash, Wall: 2 * time.Millisecond, Work: 4 * time.Millisecond, Workers: 2, Items: 10})
+	j.Count(CtrHashEvals, 42)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("bad JSONL line: %v", err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	if lines[0]["type"] != "span" || lines[0]["stage"] != "hash" || lines[0]["wall_us"] != float64(2000) {
+		t.Fatalf("span line = %v", lines[0])
+	}
+	if lines[1]["type"] != "count" || lines[1]["counter"] != "hash_evals" || lines[1]["delta"] != float64(42) {
+		t.Fatalf("count line = %v", lines[1])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errWrite
+	}
+	w.n--
+	return len(p), nil
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write failed" }
+
+func TestJSONLStickyError(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 1})
+	j.Count(CtrHashEvals, 1) // succeeds
+	j.Count(CtrHashEvals, 2) // fails
+	j.Count(CtrHashEvals, 3) // silenced
+	if j.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Fatal("all-nil tee not nil")
+	}
+	c := NewCollector()
+	if got := Tee(nil, c); got != Sink(c) {
+		t.Fatal("single-sink tee not unwrapped")
+	}
+	c2 := NewCollector()
+	var buf strings.Builder
+	multi := Tee(c, c2, NewJSONL(&buf))
+	multi.Count(CtrMerges, 2)
+	multi.Span(Span{Stage: StageFilter, Wall: time.Millisecond})
+	if c.Counter(CtrMerges) != 2 || c2.Counter(CtrMerges) != 2 {
+		t.Fatal("tee did not fan out counts")
+	}
+	if len(c.Spans()) != 1 || len(c2.Spans()) != 1 {
+		t.Fatal("tee did not fan out spans")
+	}
+	if !strings.Contains(buf.String(), `"merges"`) {
+		t.Fatal("tee skipped the JSONL sink")
+	}
+}

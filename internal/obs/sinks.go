@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Collector is the in-memory Sink: lock-free atomic counters plus a
+// mutex-protected span log. It is the sink behind the BENCH_*.json
+// reports and the counter-equality tests.
+type Collector struct {
+	counters [numCounters]int64
+	mu       sync.Mutex
+	spans    []Span
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Count implements Sink.
+func (c *Collector) Count(ctr Counter, delta int64) {
+	if int(ctr) < len(c.counters) {
+		atomic.AddInt64(&c.counters[ctr], delta)
+	}
+}
+
+// Span implements Sink.
+func (c *Collector) Span(s Span) {
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+}
+
+// Counter reads one counter's accumulated value.
+func (c *Collector) Counter(ctr Counter) int64 {
+	if int(ctr) >= len(c.counters) {
+		return 0
+	}
+	return atomic.LoadInt64(&c.counters[ctr])
+}
+
+// Counters snapshots every non-zero counter, keyed by its stable name.
+func (c *Collector) Counters() map[string]int64 {
+	out := make(map[string]int64)
+	for i := Counter(0); i < numCounters; i++ {
+		if v := atomic.LoadInt64(&c.counters[i]); v != 0 {
+			out[i.String()] = v
+		}
+	}
+	return out
+}
+
+// Spans returns a copy of the recorded spans, in completion order.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.spans...)
+}
+
+// StageAgg aggregates the recorded spans of one stage: summed wall and
+// busy time and the span count.
+func (c *Collector) StageAgg(stage Stage) (wall, work time.Duration, spans int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.spans {
+		if s.Stage == stage {
+			wall += s.Wall
+			work += s.Work
+			spans++
+		}
+	}
+	return wall, work, spans
+}
+
+// Reset clears counters and spans.
+func (c *Collector) Reset() {
+	for i := range c.counters {
+		atomic.StoreInt64(&c.counters[i], 0)
+	}
+	c.mu.Lock()
+	c.spans = nil
+	c.mu.Unlock()
+}
+
+// jsonlEvent is the wire form of one JSONL sink event.
+type jsonlEvent struct {
+	Type    string `json:"type"`              // "span" or "count"
+	Stage   string `json:"stage,omitempty"`   // span events
+	WallUS  int64  `json:"wall_us,omitempty"` // microseconds
+	WorkUS  int64  `json:"work_us,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+	Waves   int    `json:"waves,omitempty"`
+	Items   int    `json:"items,omitempty"`
+	Counter string `json:"counter,omitempty"` // count events
+	Delta   int64  `json:"delta,omitempty"`
+}
+
+// JSONL is the JSON-lines Sink: one JSON object per event, written as
+// it happens — suitable for piping into jq or a log collector. Writes
+// are serialized by an internal mutex; the first write error sticks
+// and silences later events (check Err after the run).
+type JSONL struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL creates a JSON-lines sink over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+func (j *JSONL) emit(ev jsonlEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(ev)
+}
+
+// Count implements Sink.
+func (j *JSONL) Count(c Counter, delta int64) {
+	j.emit(jsonlEvent{Type: "count", Counter: c.String(), Delta: delta})
+}
+
+// Span implements Sink.
+func (j *JSONL) Span(s Span) {
+	j.emit(jsonlEvent{
+		Type: "span", Stage: s.Stage.String(),
+		WallUS: s.Wall.Microseconds(), WorkUS: s.Work.Microseconds(),
+		Workers: s.Workers, Waves: s.Waves, Items: s.Items,
+	})
+}
+
+// Err reports the first write error, if any.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

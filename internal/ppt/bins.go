@@ -50,15 +50,22 @@ func (b *Bins[T]) Add(c T) {
 // Len reports how many clusters are stored.
 func (b *Bins[T]) Len() int { return b.count }
 
+// compact lowers the highest-bin cursor past bins emptied by earlier
+// pops, restoring the invariant that every bin above b.highest is
+// empty. Only mutating operations may call it.
+func (b *Bins[T]) compact() {
+	for b.highest >= 0 && len(b.bins[b.highest]) == 0 {
+		b.highest--
+	}
+}
+
 // PopLargest removes and returns the largest stored cluster. The
 // search starts from the last non-empty bin and picks that bin's
 // largest member (Appendix B.4). The second return is false when the
 // index is empty.
 func (b *Bins[T]) PopLargest() (T, bool) {
 	var zero T
-	for b.highest >= 0 && len(b.bins[b.highest]) == 0 {
-		b.highest--
-	}
+	b.compact()
 	if b.highest < 0 {
 		return zero, false
 	}
@@ -79,20 +86,18 @@ func (b *Bins[T]) PopLargest() (T, bool) {
 }
 
 // PeekLargestSize reports the size of the largest stored cluster, or 0
-// when empty.
-//
-// Like PopLargest, it lowers the b.highest cursor past bins emptied by
-// earlier pops. This mutation is deliberate and safe: the invariant is
-// that every bin above b.highest is empty, and Add restores the cursor
-// whenever a later insertion lands in a higher bin, so no sequence of
-// interleaved Peek/Add/Pop calls can miss the true maximum (see
-// TestBinsPeekNeverMissesMaximum).
+// when empty. It is genuinely read-only: the scan walks past bins
+// emptied by earlier pops with a local cursor and never touches the
+// index state, so a peek is always safe — including from code holding
+// only read access — and interleaved Peek/Add/Pop sequences cannot
+// miss the true maximum (see TestBinsPeekNeverMissesMaximum and
+// TestBinsPeekLargestSizeDoesNotMutate). Cursor compaction happens
+// only inside mutating operations (PopLargest).
 func (b *Bins[T]) PeekLargestSize() int {
 	h := b.highest
 	for h >= 0 && len(b.bins[h]) == 0 {
 		h--
 	}
-	b.highest = h
 	if h < 0 {
 		return 0
 	}

@@ -214,11 +214,9 @@ func TestBinsAlwaysPopsMaximum(t *testing.T) {
 	}
 }
 
-// TestBinsPeekNeverMissesMaximum pins down the documented
-// PeekLargestSize contract: the method lowers the b.highest cursor
-// while scanning past emptied bins, and that cache update must never
-// make an interleaved Peek/Add/Pop sequence miss the true maximum —
-// Add restores the cursor whenever an insertion lands above it.
+// TestBinsPeekNeverMissesMaximum pins down the PeekLargestSize
+// value contract: whatever bins earlier pops emptied, an interleaved
+// Peek/Add/Pop sequence must never miss the true maximum.
 func TestBinsPeekNeverMissesMaximum(t *testing.T) {
 	f := func(seed uint64, sizes []uint16) bool {
 		if len(sizes) == 0 {
@@ -271,6 +269,66 @@ func TestBinsPeekNeverMissesMaximum(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestBinsPeekLargestSizeDoesNotMutate pins down the read-only
+// contract: PeekLargestSize must leave every piece of index state —
+// bins, counts and the highest-bin cursor — untouched, even right
+// after pops emptied the top bins (the regression: the scan used to
+// write its lowered cursor back into b.highest).
+func TestBinsPeekLargestSizeDoesNotMutate(t *testing.T) {
+	b := NewBins[sizedInt](1 << 10)
+	for _, s := range []int{1000, 900, 500, 40, 40, 3, 1} {
+		b.Add(sizedInt(s))
+	}
+	// Empty the two top bins so the cursor points at empty bins and the
+	// peek scan has distance to cover.
+	for i := 0; i < 3; i++ {
+		if _, ok := b.PopLargest(); !ok {
+			t.Fatal("pop failed")
+		}
+	}
+	b.bins[b.binFor(1 << 9)] = nil // force the scan past a nil bin too
+	snapshot := func() (highest, count int, lens []int, flat []int) {
+		highest, count = b.highest, b.count
+		for _, bin := range b.bins {
+			lens = append(lens, len(bin))
+			for _, c := range bin {
+				flat = append(flat, int(c))
+			}
+		}
+		return
+	}
+	h0, c0, l0, f0 := snapshot()
+	for i := 0; i < 4; i++ {
+		if got := b.PeekLargestSize(); got != 40 {
+			t.Fatalf("peek %d = %d, want 40", i, got)
+		}
+		h1, c1, l1, f1 := snapshot()
+		if h1 != h0 || c1 != c0 {
+			t.Fatalf("peek %d mutated cursor/count: highest %d -> %d, count %d -> %d", i, h0, h1, c0, c1)
+		}
+		if !slicesEqual(l1, l0) || !slicesEqual(f1, f0) {
+			t.Fatalf("peek %d mutated bin contents: %v/%v -> %v/%v", i, l0, f0, l1, f1)
+		}
+	}
+	// The untouched cursor must not cost correctness: popping after the
+	// peeks still returns the true maximum.
+	if got, ok := b.PopLargest(); !ok || int(got) != 40 {
+		t.Fatalf("pop after peeks = %v (ok=%v), want 40", got, ok)
+	}
+}
+
+func slicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestBinsEmptyClusterPanics(t *testing.T) {
