@@ -123,6 +123,28 @@ func MatchWeightedAverage(fields []int, ms []Metric, weights []float64, maxDista
 	return distance.WeightedAverage{Fields: fields, Metrics: ms, Weights: weights, MaxDistance: maxDistance}
 }
 
+// PreparedRule is a match kernel specialized to a fixed record slice:
+// per-record invariants (vector norms, popcounts, intersection
+// budgets) are computed once, and each MatchIdx call pays only for the
+// threshold-aware decision — with exactly the decision Rule.Match
+// would make. The filtering, recovery and baseline pipelines prepare
+// kernels internally; PrepareRule is for callers running their own
+// comparison loops. MatchIdx is safe for concurrent use.
+type PreparedRule = distance.PreparedRule
+
+// PreparedRuleStats reports a prepared kernel's effectiveness: pairs
+// decided from per-record invariants alone, and comparisons abandoned
+// early once the outcome was decided.
+type PreparedRuleStats = distance.PreparedStats
+
+// PrepareRule builds the prepared match kernel for rule over
+// ds.Records[ids[i]]; the returned kernel's MatchIdx(i, j) takes local
+// indices into ids. Rule shapes or metrics outside the built-in set
+// degrade to calling Rule.Match per pair, so decisions never change.
+func PrepareRule(ds *Dataset, rule Rule, ids []int32) PreparedRule {
+	return distance.Prepare(ds, rule, ids)
+}
+
 // SequenceConfig controls the design of the hashing function sequence;
 // the zero value reproduces the paper's default (Exponential growth
 // from 20 hash functions, 8 levels, epsilon 0.001).

@@ -161,6 +161,8 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 			subs, pst := core.ApplyPairwiseOpt(ds, rule, c.recs, core.PairwiseOptions{Workers: workers})
 			res.Stats.PairwiseRounds++
 			res.Stats.PairsComputed += pst.PairsComputed
+			res.Stats.PrefilterRejects += pst.PrefilterRejects
+			res.Stats.EarlyExits += pst.EarlyExits
 			res.Stats.PairwiseWall += pst.Wall
 			res.Stats.PairwiseWork += pst.Work
 			res.Stats.ModelCost += float64(pst.PairsComputed) * plan.Cost.CostP
@@ -171,6 +173,8 @@ func LSHXWithPlan(ds *record.Dataset, rule distance.Rule, plan *core.Plan, opts 
 				})
 				opts.Obs.Count(obs.CtrPairComparisons, pst.PairsComputed)
 				opts.Obs.Count(obs.CtrMerges, pst.Merges)
+				obs.Count(opts.Obs, obs.CtrKernelPrefilterRejects, pst.PrefilterRejects)
+				obs.Count(opts.Obs, obs.CtrKernelEarlyExits, pst.EarlyExits)
 			}
 			for _, recs := range subs {
 				bins.Add(&candidate{recs: recs, verified: true})
@@ -216,6 +220,8 @@ func PairsObs(ds *record.Dataset, rule distance.Rule, k, returnClusters, workers
 	if ds.Len() > 0 {
 		clusters, pst := core.ApplyPairwiseOpt(ds, rule, all, core.PairwiseOptions{Workers: workers})
 		res.Stats.PairsComputed = pst.PairsComputed
+		res.Stats.PrefilterRejects = pst.PrefilterRejects
+		res.Stats.EarlyExits = pst.EarlyExits
 		res.Stats.PairwiseWall = pst.Wall
 		res.Stats.PairwiseWork = pst.Work
 		res.Stats.Workers = pst.Workers
@@ -227,6 +233,8 @@ func PairsObs(ds *record.Dataset, rule distance.Rule, k, returnClusters, workers
 			})
 			sink.Count(obs.CtrPairComparisons, pst.PairsComputed)
 			sink.Count(obs.CtrMerges, pst.Merges)
+			obs.Count(sink, obs.CtrKernelPrefilterRejects, pst.PrefilterRejects)
+			obs.Count(sink, obs.CtrKernelEarlyExits, pst.EarlyExits)
 		}
 		sortBySize(clusters)
 		for _, recs := range clusters {

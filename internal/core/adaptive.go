@@ -127,6 +127,10 @@ type Stats struct {
 	HashEvals []int64
 	// PairsComputed counts exact distance evaluations by P.
 	PairsComputed int64
+	// PrefilterRejects and EarlyExits aggregate the prepared match
+	// kernel's effectiveness across P's rounds
+	// (PairwiseStats.PrefilterRejects/EarlyExits semantics).
+	PrefilterRejects, EarlyExits int64
 	// HashRounds and PairwiseRounds count Algorithm 1 iterations by
 	// the function they applied.
 	HashRounds, PairwiseRounds int
@@ -322,6 +326,8 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 			subs, pst := ApplyPairwiseOpt(ds, plan.Rule, c.recs, popts)
 			stats.PairwiseRounds++
 			stats.PairsComputed += pst.PairsComputed
+			stats.PrefilterRejects += pst.PrefilterRejects
+			stats.EarlyExits += pst.EarlyExits
 			stats.PairwiseWall += pst.Wall
 			stats.PairwiseWork += pst.Work
 			stats.ModelCost += float64(pst.PairsComputed) * plan.Cost.CostP
@@ -334,6 +340,8 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 				})
 				opts.Obs.Count(obs.CtrPairComparisons, pst.PairsComputed)
 				opts.Obs.Count(obs.CtrMerges, pst.Merges)
+				obs.Count(opts.Obs, obs.CtrKernelPrefilterRejects, pst.PrefilterRejects)
+				obs.Count(opts.Obs, obs.CtrKernelEarlyExits, pst.EarlyExits)
 			}
 			for _, recs := range subs {
 				bins.Add(&workCluster{recs: recs, final: true, byP: true})

@@ -106,8 +106,8 @@ func (c *Cache) Prefix(h, rec int) int { return len(c.vals[h][rec]) }
 // cached prefixes are preserved.
 func (c *Cache) Grow(n int) {
 	for h := range c.vals {
-		for len(c.vals[h]) < n {
-			c.vals[h] = append(c.vals[h], nil)
+		if d := n - len(c.vals[h]); d > 0 {
+			c.vals[h] = append(c.vals[h], make([][]uint64, d)...)
 		}
 	}
 }

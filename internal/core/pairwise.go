@@ -73,6 +73,13 @@ type PairwiseStats struct {
 	Merges int64
 	// Waves counts parallel dispatch waves (0 on the serial path).
 	Waves int
+	// PrefilterRejects and EarlyExits report the prepared match
+	// kernel's effectiveness (distance.PreparedStats semantics): pairs
+	// decided from per-record invariants alone, and element-wise
+	// comparisons abandoned once the outcome was decided. Both still
+	// count toward PairsComputed — they are exact decisions, reached
+	// cheaply.
+	PrefilterRejects, EarlyExits int64
 }
 
 // ApplyPairwise is the pairwise computation function P (Definition 2):
@@ -120,19 +127,27 @@ func ApplyPairwiseOpt(ds *record.Dataset, rule distance.Rule, recs []int32, opts
 	for i := 0; i < n; i++ {
 		forest.MakeTree(i)
 	}
+	// Prepare the threshold-aware match kernel once per invocation:
+	// per-record invariants (norms, popcounts, intersection budgets)
+	// are computed here so each pair pays only for the decision. The
+	// kernel's decisions are identical to rule.Match, so clusters,
+	// PairsComputed and Merges do not depend on it.
+	kernel := distance.Prepare(ds, rule, recs)
 	st := PairwiseStats{Workers: workers}
 	if workers == 1 {
-		st.PairsComputed = pairwiseSerial(ds, rule, recs, forest, !opts.NoSkip)
+		st.PairsComputed = pairwiseSerial(kernel, recs, forest, !opts.NoSkip)
 		st.Wall = time.Since(start)
 		st.Work = st.Wall
 	} else {
 		var evalWall, evalBusy time.Duration
-		st.PairsComputed, st.Waves, evalWall, evalBusy = pairwiseParallel(ds, rule, recs, forest, !opts.NoSkip, workers)
+		st.PairsComputed, st.Waves, evalWall, evalBusy = pairwiseParallel(kernel, recs, forest, !opts.NoSkip, workers)
 		st.Wall = time.Since(start)
 		// Sequential portions count once; the evaluation waves count
 		// their summed worker busy time instead of their wall time.
 		st.Work = st.Wall - evalWall + evalBusy
 	}
+	kst := kernel.Stats()
+	st.PrefilterRejects, st.EarlyExits = kst.PrefilterRejects, kst.EarlyExits
 	// Merges are trees minus remaining components — order-independent.
 	st.Merges = int64(n - len(forest.Roots()))
 	return collectClusters(forest, recs), st
@@ -140,9 +155,8 @@ func ApplyPairwiseOpt(ds *record.Dataset, rule distance.Rule, recs []int32, opts
 
 // pairwiseSerial is the reference implementation: one pass over the
 // pair space in (i, j) order, merging matches as it goes.
-func pairwiseSerial(ds *record.Dataset, rule distance.Rule, recs []int32, forest *ppt.Forest, skipClosed bool) (pairsComputed int64) {
+func pairwiseSerial(kernel distance.PreparedRule, recs []int32, forest *ppt.Forest, skipClosed bool) (pairsComputed int64) {
 	for i := 0; i < len(recs); i++ {
-		ri := &ds.Records[recs[i]]
 		for j := i + 1; j < len(recs); j++ {
 			ra, rb := forest.Root(i), forest.Root(j)
 			if ra == rb {
@@ -150,11 +164,11 @@ func pairwiseSerial(ds *record.Dataset, rule distance.Rule, recs []int32, forest
 					continue // transitively closed already
 				}
 				pairsComputed++
-				_ = rule.Match(ri, &ds.Records[recs[j]])
+				_ = kernel.MatchIdx(i, j)
 				continue
 			}
 			pairsComputed++
-			if rule.Match(ri, &ds.Records[recs[j]]) {
+			if kernel.MatchIdx(i, j) {
 				forest.Merge(ra, rb)
 			}
 		}
@@ -178,7 +192,7 @@ type pairIdx struct{ i, j int32 }
 // redundantly only when the merge that closes it lands in the same
 // wave, bounding the extra distances per merge by the wave size; the
 // total can never exceed the |S|(|S|-1)/2 budget of the cost model.
-func pairwiseParallel(ds *record.Dataset, rule distance.Rule, recs []int32, forest *ppt.Forest, skipClosed bool, workers int) (pairsComputed int64, waves int, evalWall, evalBusy time.Duration) {
+func pairwiseParallel(kernel distance.PreparedRule, recs []int32, forest *ppt.Forest, skipClosed bool, workers int) (pairsComputed int64, waves int, evalWall, evalBusy time.Duration) {
 	waveCap := workers * pairwiseBlock
 	wave := make([]pairIdx, 0, waveCap)
 	matched := make([]bool, waveCap)
@@ -207,7 +221,7 @@ func pairwiseParallel(ds *record.Dataset, rule distance.Rule, recs []int32, fore
 				t0 := time.Now()
 				for x := lo; x < hi; x++ {
 					p := wave[x]
-					matched[x] = rule.Match(&ds.Records[recs[p.i]], &ds.Records[recs[p.j]])
+					matched[x] = kernel.MatchIdx(int(p.i), int(p.j))
 				}
 				atomic.AddInt64(&busyNS, int64(time.Since(t0)))
 			}(lo, hi)
@@ -248,13 +262,17 @@ func pairwiseParallel(ds *record.Dataset, rule distance.Rule, recs []int32, fore
 
 // PairsBetween counts and evaluates matches between two disjoint record
 // slices under the rule, returning the matching pairs. It is used by
-// the recovery process evaluation.
+// the recovery process evaluation. The match kernel is prepared once
+// over both slices, so each pair costs only the threshold-aware
+// decision.
 func PairsBetween(ds *record.Dataset, rule distance.Rule, a, b []int32) (matches [][2]int32, pairsComputed int64) {
-	for _, i := range a {
-		ri := &ds.Records[i]
-		for _, j := range b {
+	recs := make([]int32, 0, len(a)+len(b))
+	recs = append(append(recs, a...), b...)
+	kernel := distance.Prepare(ds, rule, recs)
+	for ai, i := range a {
+		for bj, j := range b {
 			pairsComputed++
-			if rule.Match(ri, &ds.Records[j]) {
+			if kernel.MatchIdx(ai, len(a)+bj) {
 				matches = append(matches, [2]int32{i, j})
 			}
 		}

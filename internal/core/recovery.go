@@ -52,18 +52,25 @@ func RecoverObs(ds *record.Dataset, rule distance.Rule, clusters [][]int32, sink
 			inOutput[r] = true
 		}
 	}
+	// Recovery touches every dataset record (|rest| x |output| pairs),
+	// so the match kernel is prepared once over the whole dataset and
+	// addressed by record ID directly.
+	all := make([]int32, ds.Len())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	kernel := distance.Prepare(ds, rule, all)
 	for id := 0; id < ds.Len(); id++ {
 		rid := int32(id)
 		if inOutput[rid] {
 			continue
 		}
-		rec := &ds.Records[id]
 		bestCluster, bestMatches := -1, 0
 		for ci, c := range clusters {
 			matches := 0
 			for _, other := range c {
 				res.PairsComputed++
-				if rule.Match(rec, &ds.Records[other]) {
+				if kernel.MatchIdx(id, int(other)) {
 					matches++
 				}
 			}
@@ -83,5 +90,8 @@ func RecoverObs(ds *record.Dataset, rule distance.Rule, clusters [][]int32, sink
 	res.Elapsed = t.End()
 	obs.Count(sink, obs.CtrPairComparisons, res.PairsComputed)
 	obs.Count(sink, obs.CtrRecovered, int64(res.Recovered))
+	kst := kernel.Stats()
+	obs.Count(sink, obs.CtrKernelPrefilterRejects, kst.PrefilterRejects)
+	obs.Count(sink, obs.CtrKernelEarlyExits, kst.EarlyExits)
 	return res
 }

@@ -13,6 +13,7 @@ package distance
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"github.com/topk-er/adalsh/internal/record"
 )
@@ -218,17 +219,9 @@ func HammingBits(a, b record.Bits) float64 {
 	}
 	diff := 0
 	for i := range a.Words {
-		diff += popcount(a.Words[i] ^ b.Words[i])
+		diff += bits.OnesCount64(a.Words[i] ^ b.Words[i])
 	}
 	return float64(diff) / float64(a.Width)
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
 }
 
 // P implements Metric: a random sampled bit agrees with probability

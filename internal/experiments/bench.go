@@ -33,6 +33,12 @@ type RunBench struct {
 	HashEvals int64 `json:"hash_evals"`
 	// PairsComputed counts exact distance evaluations by P.
 	PairsComputed int64 `json:"pairs_computed"`
+	// PairwiseNsPerPair is the pairwise stage's wall time divided by
+	// PairsComputed — the per-pair cost of the prepared match kernels
+	// on this dataset (0 when P never ran). Read it together with the
+	// kernel_prefilter_rejects / kernel_early_exits counters to judge
+	// kernel effectiveness per dataset.
+	PairwiseNsPerPair float64 `json:"pairwise_ns_per_pair"`
 	// Stages aggregates the run's spans per stage, stage-name order.
 	Stages []StageBench `json:"stages"`
 	// Counters snapshots every non-zero obs counter by stable name.
@@ -99,6 +105,10 @@ func benchRun(b *datasets.Benchmark, plan *core.Plan, k, workers, hashShards, ha
 			WorkMS: work.Seconds() * 1000,
 			Spans:  spans,
 		})
+	}
+	if run.PairsComputed > 0 {
+		wall, _, _ := col.StageAgg(obs.StagePairwise)
+		run.PairwiseNsPerPair = float64(wall.Nanoseconds()) / float64(run.PairsComputed)
 	}
 	return run, nil
 }

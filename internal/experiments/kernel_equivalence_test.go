@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/datasets"
+	"github.com/topk-er/adalsh/internal/distance"
+)
+
+// naiveRule hides the concrete rule type from distance.Prepare's type
+// switch, so the kernel layer falls back to per-pair Rule.Match — the
+// pre-kernel naive path with identical wave scheduling. It is the
+// reference implementation for the prepared kernels.
+type naiveRule struct{ distance.Rule }
+
+// TestKernelEquivalenceOnBuilders is the acceptance test for the
+// prepared-kernel layer: ApplyPairwiseOpt with prepared kernels must
+// produce byte-identical clusters and identical PairsComputed and
+// Merges versus the naive Rule.Match path on slices of the paper
+// datasets (Cora's weighted string rule, SpotSigs' Jaccard rule,
+// PopularImages' And-of-thresholds rule), for workers 1 and 4.
+func TestKernelEquivalenceOnBuilders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second O(n^2) runs")
+	}
+	p := NewProvider(42)
+	benches := map[string]*datasets.Benchmark{
+		"cora":     p.Cora(1),
+		"spotsigs": p.SpotSigs(1, 0.4),
+		"images":   p.Images("1.05", 15),
+	}
+	const slice = 600
+	for name, b := range benches {
+		n := b.Dataset.Len()
+		if n > slice {
+			n = slice
+		}
+		recs := make([]int32, n)
+		for i := range recs {
+			recs[i] = int32(i)
+		}
+		for _, workers := range []int{1, 4} {
+			opts := core.PairwiseOptions{Workers: workers}
+			naive, nst := core.ApplyPairwiseOpt(b.Dataset, naiveRule{b.Rule}, recs, opts)
+			prep, pst := core.ApplyPairwiseOpt(b.Dataset, b.Rule, recs, opts)
+			if !reflect.DeepEqual(prep, naive) {
+				t.Errorf("%s workers=%d: prepared clusters differ from naive", name, workers)
+			}
+			if pst.PairsComputed != nst.PairsComputed {
+				t.Errorf("%s workers=%d: PairsComputed %d (prepared) != %d (naive)",
+					name, workers, pst.PairsComputed, nst.PairsComputed)
+			}
+			if pst.Merges != nst.Merges {
+				t.Errorf("%s workers=%d: Merges %d (prepared) != %d (naive)",
+					name, workers, pst.Merges, nst.Merges)
+			}
+		}
+	}
+}

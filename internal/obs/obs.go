@@ -97,6 +97,16 @@ const (
 	// CtrReplans counts stream plan re-designs triggered by dataset
 	// growth.
 	CtrReplans
+	// CtrKernelPrefilterRejects counts exact-comparison pairs decided
+	// by the prepared match kernels from per-record invariants alone
+	// (zero norms, intersection bounds, popcount gaps) — no
+	// element-wise work. The pairs still count as comparisons: the
+	// decisions are exact.
+	CtrKernelPrefilterRejects
+	// CtrKernelEarlyExits counts element-wise comparisons the prepared
+	// match kernels abandoned before the last element, once the
+	// remaining elements could no longer change the decision.
+	CtrKernelEarlyExits
 
 	numCounters
 )
@@ -105,6 +115,7 @@ var counterNames = [numCounters]string{
 	"hash_evals", "cache_hits", "cache_misses", "bucket_collisions",
 	"pair_comparisons", "merges", "rehash_rounds", "clusters_emitted",
 	"records_recovered", "replans",
+	"kernel_prefilter_rejects", "kernel_early_exits",
 }
 
 // String returns the stable snake_case counter name used by the JSONL

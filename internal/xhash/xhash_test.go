@@ -2,6 +2,7 @@ package xhash
 
 import (
 	"math"
+	"math/bits"
 	"testing"
 	"testing/quick"
 )
@@ -20,19 +21,11 @@ func TestSplitMix64Avalanche(t *testing.T) {
 	base := SplitMix64(0x123456789abcdef)
 	for bit := 0; bit < 64; bit += 7 {
 		flipped := SplitMix64(0x123456789abcdef ^ (1 << bit))
-		diff := popcount(base ^ flipped)
+		diff := bits.OnesCount64(base ^ flipped)
 		if diff < 10 || diff > 54 {
 			t.Errorf("bit %d: only %d output bits changed", bit, diff)
 		}
 	}
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
 }
 
 func TestCombineOrderSensitive(t *testing.T) {
