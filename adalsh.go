@@ -199,6 +199,13 @@ type Config struct {
 	// for every value — tune it only when profiling shows shard-map
 	// contention or imbalance.
 	HashShards int
+	// LegacyMemLayout selects the pre-arena memory layouts: a
+	// slice-per-record signature cache and Go-map bucket tables instead
+	// of the default paged arenas and pooled open-addressing tables.
+	// Results, statistics and observability counters are identical
+	// either way — the flag exists for A/B benchmarking the layouts and
+	// as an escape hatch while the new layout bakes.
+	LegacyMemLayout bool
 	// OnRound, when non-nil, receives a progress snapshot after every
 	// adaptive round — hook for logging or progress display.
 	OnRound func(RoundInfo)
@@ -212,11 +219,16 @@ type Config struct {
 
 // options converts the public config to core options.
 func (c Config) options() core.Options {
-	return core.Options{
+	opts := core.Options{
 		K: c.K, ReturnClusters: c.ReturnClusters,
 		Workers: c.Workers, HashShards: c.HashShards,
 		OnRound: c.OnRound, Obs: c.Obs,
 	}
+	if c.LegacyMemLayout {
+		opts.CacheLayout = core.CacheSlices
+		opts.HashMapTables = true
+	}
+	return opts
 }
 
 // StatsSink receives stage spans and counter deltas from instrumented

@@ -35,6 +35,7 @@ func provider() *experiments.Provider {
 func benchFigure(b *testing.B, id string) {
 	b.Helper()
 	p := provider()
+	b.ReportAllocs()
 	// Warm the caches outside the timed region.
 	b.StopTimer()
 	if _, err := experiments.Run(p, id, true); err != nil {
@@ -79,6 +80,7 @@ func BenchmarkFilterAdaLSHSpotSigs(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Filter(bench.Dataset, plan, core.Options{K: 10}); err != nil {
@@ -90,6 +92,7 @@ func BenchmarkFilterAdaLSHSpotSigs(b *testing.B) {
 func BenchmarkFilterLSH1280SpotSigs(b *testing.B) {
 	p := provider()
 	bench := p.SpotSigs(1, 0.4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.RunLSHX(bench, 1280, 10, 0, false); err != nil {
@@ -101,6 +104,7 @@ func BenchmarkFilterLSH1280SpotSigs(b *testing.B) {
 func BenchmarkFilterPairsSpotSigs(b *testing.B) {
 	p := provider()
 	bench := p.SpotSigs(1, 0.4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := adalsh.FilterPairs(bench.Dataset, bench.Rule, adalsh.Config{K: 10}); err != nil {
@@ -118,6 +122,7 @@ func BenchmarkMinHashFunction(b *testing.B) {
 	}
 	rec := &record.Record{Fields: []record.Field{record.NewSet(elems)}}
 	h := lshfamily.NewMinHash(0, 64, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Hash(i&63, rec)
@@ -131,6 +136,7 @@ func BenchmarkHyperplaneFunction(b *testing.B) {
 	}
 	rec := &record.Record{Fields: []record.Field{v}}
 	h := lshfamily.NewHyperplane(0, 125, 64, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Hash(i&63, rec)
@@ -145,6 +151,7 @@ func BenchmarkJaccardDistance(b *testing.B) {
 		c[i] = uint64(i)*7919 + uint64(i%3)
 	}
 	sa, sc := record.NewSet(a), record.NewSet(c)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		distance.JaccardSet(sa, sc)
@@ -158,6 +165,7 @@ func BenchmarkCosineDistance(b *testing.B) {
 		u[i] = float64(i % 11)
 		v[i] = float64(i % 13)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		distance.CosineVec(u, v)
@@ -167,6 +175,7 @@ func BenchmarkCosineDistance(b *testing.B) {
 func BenchmarkDesignPlanSpotSigs(b *testing.B) {
 	p := provider()
 	bench := p.SpotSigs(1, 0.4)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.DesignPlan(bench.Dataset, bench.Rule, core.SequenceConfig{Seed: uint64(i)}); err != nil {
@@ -186,6 +195,7 @@ func benchAblation(b *testing.B, opts core.Options) {
 		b.Fatal(err)
 	}
 	opts.K = 10
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Filter(bench.Dataset, plan, opts); err != nil {
@@ -226,6 +236,7 @@ func BenchmarkPairwiseParallel(b *testing.B) {
 		}
 		for _, w := range workerSet {
 			b.Run(fmt.Sprintf("spotsigs%dx/workers=%d", scale, w), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					_, st := core.ApplyPairwiseOpt(bench.Dataset, bench.Rule, recs, core.PairwiseOptions{Workers: w})
 					b.ReportMetric(float64(st.PairsComputed), "pairs/op")
@@ -313,6 +324,7 @@ func BenchmarkMatchKernels(b *testing.B) {
 	for _, sh := range shapes {
 		b.Run(sh.name+"/naive", func(b *testing.B) {
 			k := distance.Prepare(ds, opaqueBenchRule{sh.rule}, recs)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for x := 0; x < ds.Len(); x++ {
@@ -327,6 +339,7 @@ func BenchmarkMatchKernels(b *testing.B) {
 		})
 		b.Run(sh.name+"/prepared", func(b *testing.B) {
 			k := distance.Prepare(ds, sh.rule, recs)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for x := 0; x < ds.Len(); x++ {
@@ -356,6 +369,7 @@ func BenchmarkApplyHashRoundOne(b *testing.B) {
 	for i := range recs {
 		recs[i] = int32(i)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.ApplyHash(bench.Dataset, plan, plan.Funcs[0], nil, recs)
@@ -421,13 +435,66 @@ func BenchmarkHashParallel(b *testing.B) {
 			recs[i] = int32(i)
 		}
 		for _, w := range workerSet {
-			b.Run(fmt.Sprintf("%s/workers=%d", wl.name, w), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					st := &core.HashStats{}
-					core.ApplyHashOpt(wl.ds, plan, plan.Funcs[0], nil, recs,
-						core.HashOptions{Workers: w, Shards: w, MinParallel: 1}, st)
-				}
-			})
+			for _, mem := range []struct {
+				name      string
+				mapTables bool
+			}{{"oa", false}, {"maps", true}} {
+				b.Run(fmt.Sprintf("%s/workers=%d/mem=%s", wl.name, w, mem.name), func(b *testing.B) {
+					// One pool across iterations, like FilterIncremental
+					// keeps one per run: the mem=oa rows measure the
+					// pooled steady state, the mem=maps rows the legacy
+					// per-invocation map tables (the pool still recycles
+					// their key matrix and scratches).
+					pool := core.NewHashPool()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						st := &core.HashStats{}
+						core.ApplyHashOpt(wl.ds, plan, plan.Funcs[0], nil, recs,
+							core.HashOptions{Workers: w, Shards: w, MinParallel: 1,
+								MapTables: mem.mapTables, Pool: pool}, st)
+					}
+				})
+			}
 		}
+	}
+}
+
+// BenchmarkCacheEnsure measures filling the signature cache with every
+// record's per-level prefixes — the Ensure traffic of a whole filter
+// run's re-hash rounds — under both memory layouts. One op is a fresh
+// cache filled level by level; compare allocs/op between the arena and
+// the legacy slice layout (values and counters are identical, pinned
+// by TestCacheLayoutsEquivalent).
+func BenchmarkCacheEnsure(b *testing.B) {
+	p := provider()
+	bench := p.SpotSigs(1, 0.4)
+	plan, err := p.Plan(bench, core.SequenceConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	layouts := []struct {
+		name   string
+		layout core.CacheLayout
+	}{
+		{"arena", core.CacheArena},
+		{"slices", core.CacheSlices},
+	}
+	for _, l := range layouts {
+		b.Run(l.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := core.NewCacheLayout(bench.Dataset, len(plan.Hashers), l.layout)
+				for _, hf := range plan.Funcs {
+					for rec := 0; rec < bench.Dataset.Len(); rec++ {
+						for h, n := range hf.FuncsPerHasher {
+							if n > 0 {
+								c.Ensure(plan, h, rec, n)
+							}
+						}
+					}
+				}
+			}
+		})
 	}
 }

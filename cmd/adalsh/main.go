@@ -49,6 +49,8 @@ func main() {
 	planOut := flag.String("save-plan", "", "save the designed plan to this file (-method ada)")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	tracePath := flag.String("trace", "", "write an execution trace of the run to this file (inspect with go tool trace)")
+	memprofPath := flag.String("memprofile", "", "write an allocation (heap) profile of the run to this file (inspect with go tool pprof -sample_index=alloc_objects)")
+	legacyMem := flag.Bool("legacy-mem", false, "use the legacy memory layouts (slice-backed hash cache, map bucket tables); output is identical — for A/B benchmarking")
 	statsJSON := flag.String("stats-json", "", "stream per-stage spans and work counters as JSON lines to this file (- for stderr)")
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	stopProf, err := profiling.Start(*pprofPath, *tracePath)
+	stopProf, err := profiling.Start(*pprofPath, *tracePath, *memprofPath)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -86,7 +88,8 @@ func main() {
 	cfg := adalsh.Config{
 		K: *k, ReturnClusters: *khat,
 		Workers: *workers, HashShards: *hashShards,
-		Sequence: adalsh.SequenceConfig{Seed: *seed},
+		Sequence:        adalsh.SequenceConfig{Seed: *seed},
+		LegacyMemLayout: *legacyMem,
 	}
 	var statsSink *adalsh.StatsWriter
 	if *statsJSON != "" {

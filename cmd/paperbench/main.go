@@ -4,7 +4,8 @@
 // Usage:
 //
 //	paperbench [-fig fig9a] [-quick] [-skip-images] [-seed N] [-workers N] [-md]
-//	           [-stats-json DIR] [-pprof FILE] [-trace FILE]
+//	           [-stats-json DIR] [-pprof FILE] [-trace FILE] [-memprofile FILE]
+//	           [-legacy-mem]
 //
 // With no -fig, every figure is regenerated in order; -fig none skips
 // the figures entirely (useful with -stats-json). -quick trims the
@@ -42,6 +43,8 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "directory for machine-readable BENCH_<dataset>.json reports (runs the serial-vs-parallel benchmark)")
 	pprofPath := flag.String("pprof", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	tracePath := flag.String("trace", "", "write an execution trace of the run to this file (inspect with go tool trace)")
+	memprofPath := flag.String("memprofile", "", "write an allocation (heap) profile of the run to this file (inspect with go tool pprof -sample_index=alloc_objects)")
+	legacyMem := flag.Bool("legacy-mem", false, "use the legacy memory layouts (slice-backed hash cache, map bucket tables); results are identical — for A/B benchmarking the BENCH memory fields")
 	flag.Parse()
 
 	if *list {
@@ -50,7 +53,7 @@ func main() {
 		}
 		return
 	}
-	stopProf, err := profiling.Start(*pprofPath, *tracePath)
+	stopProf, err := profiling.Start(*pprofPath, *tracePath, *memprofPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -58,6 +61,7 @@ func main() {
 	p := experiments.NewProvider(*seed)
 	p.Workers = *workers
 	p.HashShards = *hashShards
+	p.LegacyMem = *legacyMem
 	start := time.Now()
 	var tables []*experiments.Table
 	switch *fig {

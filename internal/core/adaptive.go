@@ -44,6 +44,34 @@ type Options struct {
 	// serial run while the hash stage still fans out.
 	PairwiseMinPairs int64
 
+	// Memory-layout knobs. The defaults (arena cache, pooled
+	// open-addressing bucket tables) are the fast path; the legacy
+	// layouts exist for the equivalence tests and A/B benchmarks —
+	// output and every counter are identical either way.
+
+	// CacheLayout selects the signature cache's memory layout when the
+	// run creates its own cache (ignored when Options.Cache is
+	// supplied). The zero value is CacheArena.
+	CacheLayout CacheLayout
+	// HashMapTables selects the legacy Go-map bucket tables in the
+	// hash stage (HashOptions.MapTables semantics).
+	HashMapTables bool
+	// HashPool, when non-nil, supplies a long-lived scratch pool so
+	// bucket tables and key buffers survive across Filter calls (the
+	// Stream type uses this). A nil pool is created per run — the hash
+	// stage's scratch memory is then still recycled across all of the
+	// run's rounds. Pools must not be shared by concurrent runs.
+	HashPool *HashPool
+
+	// MemSample turns on per-span memory sampling: every reported span
+	// (the whole-run filter span and each hash/pairwise round) carries
+	// the runtime allocation delta across it (obs.Span.Mem —
+	// alloc_bytes, mallocs, gc_pause_ns). Off by default: each sample
+	// costs a runtime.ReadMemStats, and the counters are process-wide,
+	// so samples are only meaningful when the run is the sole workload
+	// (the experiments.Bench harness). Ignored when Obs is nil.
+	MemSample bool
+
 	// Obs, when non-nil, receives stage-scoped spans and work counters
 	// (hash evaluations, cache hits/misses, bucket collisions, pair
 	// comparisons, merges, re-hash rounds) as the run progresses. The
@@ -213,15 +241,26 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 	if err := plan.CompatibleWith(ds); err != nil {
 		return err
 	}
-	runTimer := obs.StartStage(opts.Obs, obs.StageFilter)
+	memSample := opts.MemSample && opts.Obs != nil
+	startStage := func(stage obs.Stage) obs.Timer {
+		if memSample {
+			return obs.StartStageMem(opts.Obs, stage)
+		}
+		return obs.StartStage(opts.Obs, stage)
+	}
+	runTimer := startStage(obs.StageFilter)
 	khat := opts.khat()
 	L := plan.L()
 	var cache *Cache
 	if !opts.DisableHashCache {
 		cache = opts.Cache
 		if cache == nil {
-			cache = NewCache(ds, len(plan.Hashers))
+			cache = NewCacheLayout(ds, len(plan.Hashers), opts.CacheLayout)
 		}
+	}
+	pool := opts.HashPool
+	if pool == nil {
+		pool = NewHashPool()
 	}
 	var st Stats
 	if stats == nil {
@@ -233,7 +272,10 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 	}
 	stats.Workers = workers
 	popts := PairwiseOptions{Workers: workers, NoSkip: opts.DisableTransitiveSkip, MinPairs: opts.PairwiseMinPairs}
-	hopts := HashOptions{Workers: workers, Shards: opts.HashShards, MinParallel: opts.HashMinParallel}
+	hopts := HashOptions{
+		Workers: workers, Shards: opts.HashShards, MinParallel: opts.HashMinParallel,
+		MapTables: opts.HashMapTables, Pool: pool,
+	}
 	var hashStats HashStats
 	hashStats.Evals = make([]int64, len(plan.Hashers))
 
@@ -261,7 +303,7 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		prevWork := hashStats.Work
 		prevColl, prevMerges := hashStats.Collisions, hashStats.Merges
 		prevEvals := evalsTotal()
-		ht := obs.StartStage(opts.Obs, obs.StageHash)
+		ht := startStage(obs.StageHash)
 		subs := ApplyHashOpt(ds, plan, hf, cache, recs, hopts, &hashStats)
 		ht.Workers = workers
 		ht.Items = len(recs)
@@ -323,6 +365,10 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		}
 		t := c.level // last function applied, 1-based; t < L here
 		if plan.Cost.PreferPairwise(plan, t, len(c.recs)) {
+			var pmem obs.MemSnapshot
+			if memSample {
+				pmem = obs.TakeMemSnapshot()
+			}
 			subs, pst := ApplyPairwiseOpt(ds, plan.Rule, c.recs, popts)
 			stats.PairwiseRounds++
 			stats.PairsComputed += pst.PairsComputed
@@ -334,10 +380,14 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 			if opts.Obs != nil {
 				// ApplyPairwiseOpt measured itself; forward its stats as
 				// the round's span rather than timing it twice.
-				opts.Obs.Span(obs.Span{
+				span := obs.Span{
 					Stage: obs.StagePairwise, Wall: pst.Wall, Work: pst.Work,
 					Workers: pst.Workers, Waves: pst.Waves, Items: len(c.recs),
-				})
+				}
+				if pmem.Valid() {
+					span.Mem, span.MemSampled = pmem.Delta(), true
+				}
+				opts.Obs.Span(span)
 				opts.Obs.Count(obs.CtrPairComparisons, pst.PairsComputed)
 				opts.Obs.Count(obs.CtrMerges, pst.Merges)
 				obs.Count(opts.Obs, obs.CtrKernelPrefilterRejects, pst.PrefilterRejects)

@@ -7,6 +7,24 @@ import (
 	"github.com/topk-er/adalsh/internal/record"
 )
 
+// CacheLayout selects the memory layout of a signature cache.
+type CacheLayout uint8
+
+const (
+	// CacheArena stores all prefixes of one hasher in paged []uint64
+	// arenas with a compact (page, offset, len, cap) reference per
+	// record: no per-record slice headers, no per-round reallocations
+	// once a region has spare capacity, and near-zero GC scan cost
+	// (the arenas are pointer-free). The default.
+	CacheArena CacheLayout = iota
+	// CacheSlices is the original pointer-per-record layout — one
+	// []uint64 per (hasher, record). Kept as the reference
+	// implementation for the memory-layout equivalence tests and for
+	// A/B benchmarking; behaviour (values, eval counts, hit/miss
+	// accounting) is identical to CacheArena.
+	CacheSlices
+)
+
 // Cache stores the base hash values computed for each record so far,
 // per hasher. It realizes the incremental-computation property: when a
 // later transitive hashing function processes a record, only the
@@ -23,9 +41,13 @@ import (
 // be shared by concurrently running filter invocations; Grow is not
 // safe to call concurrently with anything.
 type Cache struct {
-	ds *record.Dataset
-	// vals[h][rec] is the computed prefix of hasher h's function
-	// sequence on record rec.
+	ds     *record.Dataset
+	layout CacheLayout
+	// Arena layout: refs[h][rec] locates rec's prefix in arenas[h].
+	arenas []*sigArena
+	refs   [][]sigRef
+	// Slice layout (legacy): vals[h][rec] is the computed prefix of
+	// hasher h's function sequence on record rec.
 	vals [][][]uint64
 	// evals[h] counts base hash evaluations per hasher (for cost
 	// accounting and the experiments' work metrics).
@@ -36,19 +58,80 @@ type Cache struct {
 	hits, misses int64
 }
 
-// NewCache creates an empty cache for the dataset over n hashers.
+// NewCache creates an empty arena-backed cache for the dataset over n
+// hashers.
 func NewCache(ds *record.Dataset, numHashers int) *Cache {
-	c := &Cache{ds: ds, evals: make([]int64, numHashers)}
-	c.vals = make([][][]uint64, numHashers)
-	for h := range c.vals {
-		c.vals[h] = make([][]uint64, ds.Len())
+	return NewCacheLayout(ds, numHashers, CacheArena)
+}
+
+// NewCacheLayout creates an empty cache with an explicit memory layout
+// (NewCache defaults to CacheArena).
+func NewCacheLayout(ds *record.Dataset, numHashers int, layout CacheLayout) *Cache {
+	c := &Cache{ds: ds, layout: layout, evals: make([]int64, numHashers)}
+	switch layout {
+	case CacheSlices:
+		c.vals = make([][][]uint64, numHashers)
+		for h := range c.vals {
+			c.vals[h] = make([][]uint64, ds.Len())
+		}
+	default:
+		c.arenas = make([]*sigArena, numHashers)
+		c.refs = make([][]sigRef, numHashers)
+		for h := range c.arenas {
+			c.arenas[h] = newSigArena()
+			c.refs[h] = make([]sigRef, ds.Len())
+		}
 	}
 	return c
 }
 
+// Layout reports the cache's memory layout.
+func (c *Cache) Layout() CacheLayout { return c.layout }
+
 // Ensure returns the first n base hash values of hasher h (from plan
 // hashers) on record rec, computing and memoizing any missing suffix.
+// The returned slice aliases the cache's storage and stays valid for
+// the cache's lifetime; callers must not append to or resize it.
 func (c *Cache) Ensure(p *Plan, h, rec, n int) []uint64 {
+	if c.layout == CacheSlices {
+		return c.ensureSlices(p, h, rec, n)
+	}
+	ref := &c.refs[h][rec]
+	a := c.arenas[h]
+	if int(ref.n) >= n {
+		atomic.AddInt64(&c.hits, 1)
+		return a.view(ref.page, ref.off, n)
+	}
+	atomic.AddInt64(&c.misses, 1)
+	// Atomic: the parallel key-precompute path runs Ensure for
+	// different records concurrently (distinct refs slots, shared
+	// counter).
+	atomic.AddInt64(&c.evals[h], int64(n)-int64(ref.n))
+	if int(ref.cap) < n {
+		// Relocate to a geometrically larger region so the successive
+		// prefix extensions of the re-hash rounds stop copying.
+		newCap := 2 * int(ref.cap)
+		if newCap < n {
+			newCap = n
+		}
+		page, off := a.alloc(newCap)
+		buf := a.view(page, off, newCap)
+		if ref.n > 0 {
+			copy(buf, a.view(ref.page, ref.off, int(ref.n)))
+		}
+		ref.page, ref.off, ref.cap = page, off, int32(newCap)
+	}
+	buf := a.view(ref.page, ref.off, n)
+	// The missing suffix is evaluated through the batched signature
+	// path: one call per (record, hasher) instead of one per function.
+	r := &c.ds.Records[rec]
+	lshfamily.HashRange(p.Hashers[h], int(ref.n), n, r, buf[ref.n:])
+	ref.n = int32(n)
+	return buf
+}
+
+// ensureSlices is Ensure for the legacy slice layout.
+func (c *Cache) ensureSlices(p *Plan, h, rec, n int) []uint64 {
 	cur := c.vals[h][rec]
 	if len(cur) >= n {
 		atomic.AddInt64(&c.hits, 1)
@@ -56,17 +139,19 @@ func (c *Cache) Ensure(p *Plan, h, rec, n int) []uint64 {
 	}
 	atomic.AddInt64(&c.misses, 1)
 	if cap(cur) < n {
-		grown := make([]uint64, len(cur), n)
+		// Grow geometrically, not to exactly n: surviving records see
+		// one prefix extension per re-hash round, and exact-fit growth
+		// reallocated and copied the same prefix every round.
+		newCap := 2 * cap(cur)
+		if newCap < n {
+			newCap = n
+		}
+		grown := make([]uint64, len(cur), newCap)
 		copy(grown, cur)
 		cur = grown
 	}
 	r := &c.ds.Records[rec]
-	// Atomic: the parallel key-precompute path runs Ensure for
-	// different records concurrently (distinct vals slots, shared
-	// counter).
 	atomic.AddInt64(&c.evals[h], int64(n-len(cur)))
-	// The missing suffix is evaluated through the batched signature
-	// path: one call per (record, hasher) instead of one per function.
 	have := len(cur)
 	cur = cur[:n]
 	lshfamily.HashRange(p.Hashers[h], have, n, r, cur[have:])
@@ -99,15 +184,28 @@ func (c *Cache) Lookups() (hits, misses int64) {
 }
 
 // Prefix reports how many functions of hasher h are cached for rec.
-func (c *Cache) Prefix(h, rec int) int { return len(c.vals[h][rec]) }
+func (c *Cache) Prefix(h, rec int) int {
+	if c.layout == CacheSlices {
+		return len(c.vals[h][rec])
+	}
+	return int(c.refs[h][rec].n)
+}
 
 // Grow extends the cache to cover n records (no-op if already large
 // enough). The Stream type calls this as its dataset grows; existing
 // cached prefixes are preserved.
 func (c *Cache) Grow(n int) {
-	for h := range c.vals {
-		if d := n - len(c.vals[h]); d > 0 {
-			c.vals[h] = append(c.vals[h], make([][]uint64, d)...)
+	if c.layout == CacheSlices {
+		for h := range c.vals {
+			if d := n - len(c.vals[h]); d > 0 {
+				c.vals[h] = append(c.vals[h], make([][]uint64, d)...)
+			}
+		}
+		return
+	}
+	for h := range c.refs {
+		if d := n - len(c.refs[h]); d > 0 {
+			c.refs[h] = append(c.refs[h], make([]sigRef, d)...)
 		}
 	}
 }

@@ -38,6 +38,7 @@ type Stream struct {
 	ds      *record.Dataset
 	plan    *Plan
 	cache   *Cache
+	pool    *HashPool
 	workers int
 	shards  int
 	sink    obs.Sink
@@ -51,9 +52,13 @@ type Stream struct {
 	replans int
 }
 
-// NewStream creates an empty stream for the given matching rule.
+// NewStream creates an empty stream for the given matching rule. The
+// stream keeps one scratch pool alongside the hash cache, so the hash
+// stage's bucket tables and key buffers are recycled across queries,
+// not just across one query's rounds (Stream is not safe for
+// concurrent use, which is exactly the pool's contract).
 func NewStream(rule distance.Rule, cfg SequenceConfig) *Stream {
-	return &Stream{rule: rule, cfg: cfg, ds: &record.Dataset{Name: "stream"}}
+	return &Stream{rule: rule, cfg: cfg, ds: &record.Dataset{Name: "stream"}, pool: NewHashPool()}
 }
 
 // Add appends a record and returns its ID. The fields must follow the
@@ -133,7 +138,7 @@ func (s *Stream) TopKClusters(k, returnClusters int) (*Result, error) {
 	}
 	s.cache.Grow(s.ds.Len())
 	res, err := Filter(s.ds, s.plan, Options{
-		K: k, ReturnClusters: returnClusters, Cache: s.cache,
+		K: k, ReturnClusters: returnClusters, Cache: s.cache, HashPool: s.pool,
 		Workers: s.workers, HashShards: s.shards, Obs: s.sink,
 	})
 	if err != nil {

@@ -15,7 +15,7 @@ import (
 
 // parallelHashThreshold is the cluster size above which the hash stage
 // runs its parallel pipeline: bucket keys are precomputed by worker
-// waves and bucket insertion runs over sharded bucket maps. Below it
+// waves and bucket insertion runs over sharded bucket tables. Below it
 // the serial loop wins on dispatch overhead. It is a var only so tests
 // can exercise both sides of the boundary (see export_test.go and
 // HashOptions.MinParallel); production code treats it as a constant.
@@ -28,7 +28,7 @@ type HashOptions struct {
 	// forces the serial path. The partition produced is identical for
 	// every value.
 	Workers int
-	// Shards is the number of bucket-map shards of the parallel
+	// Shards is the number of bucket-table shards of the parallel
 	// insertion stage. Records' bucket keys are routed to shard
 	// hash(bucketKey) % Shards; each shard owns a disjoint slice of
 	// every table's bucket space and is merged deterministically, so
@@ -39,6 +39,18 @@ type HashOptions struct {
 	// serial path is used (0 means the built-in 4096 default). Mainly
 	// for tests and tuning.
 	MinParallel int
+	// MapTables selects the legacy per-invocation map[uint64]int32
+	// bucket tables instead of the pooled open-addressing tables. The
+	// partition and every counter are identical either way; the map
+	// path is the reference implementation for the memory-layout
+	// equivalence tests and A/B benchmarks.
+	MapTables bool
+	// Pool recycles bucket tables and scratch buffers across
+	// invocations (FilterIncremental threads one pool through a whole
+	// run, Stream through a stream's lifetime). A nil Pool builds a
+	// transient pool for this invocation. Pools must not be shared by
+	// concurrently running invocations.
+	Pool *HashPool
 }
 
 func (o HashOptions) resolve() HashOptions {
@@ -103,14 +115,20 @@ func ApplyHashStats(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, rec
 // when st is non-nil, streamed base-hash evaluations and cumulative
 // busy time are accumulated into it. Inputs of MinParallel records or
 // more run the parallel pipeline — key precompute in worker waves,
-// then bucket insertion over sharded bucket maps with a deterministic
-// per-shard merge. The partition is identical for every worker and
-// shard count: shard edge lists follow record order, components are
-// edge-order independent, and collectClusters emits a canonical
-// ordering.
+// then bucket insertion over sharded bucket tables with a
+// deterministic per-shard merge. The partition is identical for every
+// worker and shard count: shard edge lists follow record order,
+// components are edge-order independent, and collectClusters emits a
+// canonical ordering. Fresh table *contents* per invocation come from
+// an O(1) epoch clear; the table *memory* is recycled through the
+// pool, which is where the hot loop's allocation saving comes from.
 func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs []int32, opts HashOptions, st *HashStats) [][]int32 {
 	start := time.Now()
 	opts = opts.resolve()
+	pool := opts.Pool
+	if pool == nil {
+		pool = NewHashPool()
+	}
 	var evals []int64
 	if st != nil {
 		if st.Evals == nil {
@@ -131,8 +149,9 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 	if len(recs) >= opts.MinParallel && opts.Workers > 1 && numTables > 0 {
 		// Stage 1: precompute every record's bucket keys in parallel.
 		pw0 := time.Now()
-		keys := make([]uint64, len(recs)*numTables)
+		keys := pool.keyMatrix(len(recs) * numTables)
 		var wg sync.WaitGroup
+		var scratches []*keyScratch
 		chunk := (len(recs) + opts.Workers - 1) / opts.Workers
 		for w := 0; w < opts.Workers; w++ {
 			lo := w * chunk
@@ -143,34 +162,57 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 			if lo >= hi {
 				break
 			}
+			scratch := pool.getScratch(ds, p, hf, cache)
+			scratches = append(scratches, scratch)
 			wg.Add(1)
-			go func(lo, hi int) {
+			go func(lo, hi int, scratch *keyScratch) {
 				defer wg.Done()
 				t0 := time.Now()
-				scratch := newKeyScratch(ds, p, hf, cache)
 				for li := lo; li < hi; li++ {
 					scratch.keysFor(recs[li], keys[li*numTables:(li+1)*numTables])
 				}
 				scratch.flushEvals(evals)
 				atomic.AddInt64(&parBusyNS, int64(time.Since(t0)))
-			}(lo, hi)
+			}(lo, hi, scratch)
 		}
 		wg.Wait()
+		for _, s := range scratches {
+			pool.putScratch(s)
+		}
 
 		// Stage 2: sharded bucket insertion. Shard s owns the buckets
 		// whose key hashes to it; each shard walks the key matrix in
 		// (record, table) order — the serial insertion order — so its
-		// bucket maps hold exactly the serial tables' buckets for its
+		// bucket tables hold exactly the serial tables' buckets for its
 		// key slice, and its edge list is deterministic.
-		edgesByShard := make([][]mergeEdge, opts.Shards)
-		for s := 0; s < opts.Shards; s++ {
-			wg.Add(1)
-			go func(s int) {
-				defer wg.Done()
-				t0 := time.Now()
-				edgesByShard[s] = shardEdges(keys, len(recs), numTables, s, opts.Shards)
-				atomic.AddInt64(&parBusyNS, int64(time.Since(t0)))
-			}(s)
+		var shardTabs []*oaTable
+		var edgesByShard [][]mergeEdge
+		if opts.MapTables {
+			edgesByShard = make([][]mergeEdge, opts.Shards)
+			for s := 0; s < opts.Shards; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					t0 := time.Now()
+					edgesByShard[s] = shardEdgesMap(keys, len(recs), numTables, s, opts.Shards)
+					atomic.AddInt64(&parBusyNS, int64(time.Since(t0)))
+				}(s)
+			}
+		} else {
+			// Every shard's table set is acquired up front on this
+			// goroutine (the pool is not locked) and handed to its
+			// worker; per-shard expected occupancy sizes the tables.
+			shardTabs = pool.getTables(numTables*opts.Shards, len(recs)/opts.Shards+1)
+			edgesByShard = pool.edgeSlots(opts.Shards)
+			for s := 0; s < opts.Shards; s++ {
+				wg.Add(1)
+				go func(s int, tabs []*oaTable) {
+					defer wg.Done()
+					t0 := time.Now()
+					edgesByShard[s] = shardEdges(keys, len(recs), numTables, s, opts.Shards, tabs, edgesByShard[s])
+					atomic.AddInt64(&parBusyNS, int64(time.Since(t0)))
+				}(s, shardTabs[s*numTables:(s+1)*numTables])
+			}
 		}
 		wg.Wait()
 		parWall = time.Since(pw0)
@@ -193,15 +235,22 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 				}
 			}
 		}
-	} else {
-		// Serial path: one pass in record order, inserting into
-		// per-table bucket maps and merging on occupied buckets.
+		if shardTabs != nil {
+			pool.putEdgeSlots(edgesByShard)
+			pool.putTables(shardTabs)
+		}
+	} else if opts.MapTables {
+		// Legacy serial path: one pass in record order over per-table
+		// Go maps, merging on occupied buckets. No capacity hint: most
+		// invocations are small re-hash rounds, and pre-sizing every
+		// table for len(recs) wasted allocation on that long tail (the
+		// pooled path below sizes from expected occupancy instead).
 		tables := make([]map[uint64]int32, numTables)
 		for t := range tables {
-			tables[t] = make(map[uint64]int32, len(recs))
+			tables[t] = make(map[uint64]int32)
 		}
-		scratch := newKeyScratch(ds, p, hf, cache)
-		rowKeys := make([]uint64, numTables)
+		scratch := pool.getScratch(ds, p, hf, cache)
+		rowKeys := pool.keyMatrix(numTables)
 		for li, rec := range recs {
 			scratch.keysFor(rec, rowKeys)
 			for t, key := range rowKeys {
@@ -224,6 +273,35 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 			}
 		}
 		scratch.flushEvals(evals)
+		pool.putScratch(scratch)
+	} else {
+		// Serial path: one pass in record order, inserting into pooled
+		// per-table open-addressing tables (fresh contents by epoch
+		// clear, recycled memory) and merging on occupied buckets.
+		tables := pool.getTables(numTables, len(recs))
+		scratch := pool.getScratch(ds, p, hf, cache)
+		rowKeys := pool.keyMatrix(numTables)
+		for li, rec := range recs {
+			scratch.keysFor(rec, rowKeys)
+			for t, key := range rowKeys {
+				li32 := int32(li)
+				last, occupied := tables[t].swap(key, li32)
+				if !forest.InTree(li) {
+					forest.MakeTree(li) // cases 1 and 3 of Figure 19
+				}
+				if occupied {
+					collisions++
+					ra, rb := forest.Root(int(last)), forest.Root(li)
+					if ra != rb {
+						forest.Merge(ra, rb) // case 3/4 merge
+						merges++
+					}
+				}
+			}
+		}
+		scratch.flushEvals(evals)
+		pool.putScratch(scratch)
+		pool.putTables(tables)
 	}
 	out := collectClusters(forest, recs)
 	if st != nil {
@@ -246,11 +324,29 @@ func keyShard(key uint64, shards int) int {
 }
 
 // shardEdges runs bucket insertion for one shard: it scans the
-// (record-major) key matrix, keeps per-table bucket maps restricted to
-// the shard's keys, and returns the bucket-collision edges in
-// insertion order. Each bucket map entry holds the last record added,
-// exactly as on the serial path.
-func shardEdges(keys []uint64, numRecs, numTables, shard, shards int) []mergeEdge {
+// (record-major) key matrix, keeps per-table bucket tables restricted
+// to the shard's keys, and appends the bucket-collision edges to edges
+// in insertion order. Each bucket entry holds the last record added,
+// exactly as on the serial path. tabs holds one epoch-cleared table
+// per hash table; both it and the returned edge list are pool-owned.
+func shardEdges(keys []uint64, numRecs, numTables, shard, shards int, tabs []*oaTable, edges []mergeEdge) []mergeEdge {
+	for li := 0; li < numRecs; li++ {
+		row := keys[li*numTables : (li+1)*numTables]
+		for t, key := range row {
+			if keyShard(key, shards) != shard {
+				continue
+			}
+			if last, occupied := tabs[t].swap(key, int32(li)); occupied {
+				edges = append(edges, mergeEdge{a: last, b: int32(li)})
+			}
+		}
+	}
+	return edges
+}
+
+// shardEdgesMap is shardEdges over legacy Go maps (the reference
+// implementation the equivalence tests compare against).
+func shardEdgesMap(keys []uint64, numRecs, numTables, shard, shards int) []mergeEdge {
 	var edges []mergeEdge
 	maps := make([]map[uint64]int32, numTables)
 	for li := 0; li < numRecs; li++ {
@@ -275,7 +371,8 @@ func shardEdges(keys []uint64, numRecs, numTables, shard, shards int) []mergeEdg
 
 // keyScratch computes a record's bucket keys, either through the
 // shared cache (concurrent-safe across distinct records) or into
-// private per-hasher buffers when streaming.
+// private per-hasher buffers when streaming. Scratches are recycled
+// through the HashPool; rebind re-targets one at an invocation.
 type keyScratch struct {
 	ds    *record.Dataset
 	p     *Plan
@@ -287,16 +384,35 @@ type keyScratch struct {
 	evals []int64
 }
 
-func newKeyScratch(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache) *keyScratch {
-	s := &keyScratch{ds: ds, p: p, hf: hf, cache: cache}
-	if cache == nil {
+// rebind points the scratch at one invocation's inputs, reusing the
+// streaming buffers of previous invocations when their capacity
+// suffices.
+func (s *keyScratch) rebind(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache) {
+	s.ds, s.p, s.hf, s.cache = ds, p, hf, cache
+	if cache != nil {
+		// Cached invocations count evals through the Cache; an empty
+		// counter slice keeps flushEvals a no-op without freeing the
+		// backing array for later streaming reuse.
+		s.evals = s.evals[:0]
+		return
+	}
+	if cap(s.buf) < len(p.Hashers) {
 		s.buf = make([][]uint64, len(p.Hashers))
-		for h, n := range hf.FuncsPerHasher {
+	}
+	s.buf = s.buf[:len(p.Hashers)]
+	for h, n := range hf.FuncsPerHasher {
+		if cap(s.buf[h]) < n {
 			s.buf[h] = make([]uint64, n)
 		}
+		s.buf[h] = s.buf[h][:n]
+	}
+	if cap(s.evals) < len(p.Hashers) {
 		s.evals = make([]int64, len(p.Hashers))
 	}
-	return s
+	s.evals = s.evals[:len(p.Hashers)]
+	for h := range s.evals {
+		s.evals[h] = 0
+	}
 }
 
 // keysFor fills out[t] with record rec's bucket key for each table t.
@@ -344,14 +460,19 @@ func (s *keyScratch) flushEvals(dst []int64) {
 
 // collectClusters converts a forest over local indices back to dataset
 // record IDs, one cluster per tree, deterministically ordered (largest
-// first, ties on first record).
+// first, ties on first record). All clusters of one invocation share a
+// single flat backing array — one allocation instead of one per
+// cluster — sliced with full expressions so they stay disjoint.
 func collectClusters(forest *ppt.Forest, recs []int32) [][]int32 {
 	roots := forest.Roots()
 	out := make([][]int32, 0, len(roots))
+	flat := make([]int32, len(recs))
+	used := 0
 	var leaves []int32
 	for _, r := range roots {
 		leaves = forest.Leaves(leaves[:0], r)
-		cluster := make([]int32, len(leaves))
+		cluster := flat[used : used+len(leaves) : used+len(leaves)]
+		used += len(leaves)
 		for i, l := range leaves {
 			cluster[i] = recs[l]
 		}

@@ -19,6 +19,14 @@ type StageBench struct {
 	WallMS float64 `json:"wall_ms"`
 	WorkMS float64 `json:"work_ms"`
 	Spans  int     `json:"spans"`
+	// Memory deltas summed over the stage's spans (Options.MemSample;
+	// the bench harness always samples). AllocBytes/Mallocs are the
+	// runtime's TotalAlloc/Mallocs growth across the stage, GCPauseNS
+	// the stop-the-world pause time — process-wide counters, meaningful
+	// here because the measured run is the only workload.
+	AllocBytes int64 `json:"alloc_bytes"`
+	Mallocs    int64 `json:"mallocs"`
+	GCPauseNS  int64 `json:"gc_pause_ns"`
 }
 
 // RunBench is one instrumented filtering run inside a BenchReport.
@@ -53,10 +61,14 @@ type RunBench struct {
 // logical work; the pairwise stage is pinned serial via
 // PairwiseMinPairs so its comparison count cannot drift).
 type BenchReport struct {
-	Dataset         string   `json:"dataset"`
-	Records         int      `json:"records"`
-	K               int      `json:"k"`
-	Seed            uint64   `json:"seed"`
+	Dataset string `json:"dataset"`
+	Records int    `json:"records"`
+	K       int    `json:"k"`
+	Seed    uint64 `json:"seed"`
+	// MemLayout names the memory layout the runs used: "arena+oa" (the
+	// default) or "legacy" (Provider.LegacyMem / paperbench
+	// -legacy-mem), so A/B reports are self-describing.
+	MemLayout       string   `json:"mem_layout"`
 	Serial          RunBench `json:"serial"`
 	Parallel        RunBench `json:"parallel"`
 	SpeedupVsSerial float64  `json:"speedup_vs_serial"`
@@ -70,9 +82,9 @@ type BenchReport struct {
 const benchHashMinParallel = 256
 
 // benchRun executes one instrumented filter over the benchmark.
-func benchRun(b *datasets.Benchmark, plan *core.Plan, k, workers, hashShards, hashMin int) (RunBench, error) {
+func benchRun(b *datasets.Benchmark, plan *core.Plan, k, workers, hashShards, hashMin int, legacyMem bool) (RunBench, error) {
 	col := obs.NewCollector()
-	res, err := core.Filter(b.Dataset, plan, core.Options{
+	opts := core.Options{
 		K: k, Workers: workers, HashShards: hashShards,
 		HashMinParallel: hashMin,
 		// Pin the pairwise stage serial: its parallel path may compare
@@ -80,7 +92,14 @@ func benchRun(b *datasets.Benchmark, plan *core.Plan, k, workers, hashShards, ha
 		// BENCH counters are contractually identical across runs.
 		PairwiseMinPairs: 1 << 62,
 		Obs:              col,
-	})
+		// Per-stage allocation deltas are part of the BENCH report.
+		MemSample: true,
+	}
+	if legacyMem {
+		opts.CacheLayout = core.CacheSlices
+		opts.HashMapTables = true
+	}
+	res, err := core.Filter(b.Dataset, plan, opts)
 	if err != nil {
 		return RunBench{}, err
 	}
@@ -99,11 +118,15 @@ func benchRun(b *datasets.Benchmark, plan *core.Plan, k, workers, hashShards, ha
 		if spans == 0 {
 			continue
 		}
+		mem, _ := col.StageMem(s)
 		run.Stages = append(run.Stages, StageBench{
-			Stage:  s.String(),
-			WallMS: wall.Seconds() * 1000,
-			WorkMS: work.Seconds() * 1000,
-			Spans:  spans,
+			Stage:      s.String(),
+			WallMS:     wall.Seconds() * 1000,
+			WorkMS:     work.Seconds() * 1000,
+			Spans:      spans,
+			AllocBytes: mem.AllocBytes,
+			Mallocs:    mem.Mallocs,
+			GCPauseNS:  mem.GCPauseNS,
 		})
 	}
 	if run.PairsComputed > 0 {
@@ -125,11 +148,15 @@ func Bench(p *Provider, name string, b *datasets.Benchmark, k, workers, hashShar
 	}
 	rep := &BenchReport{
 		Dataset: name, Records: b.Dataset.Len(), K: k, Seed: p.Seed,
+		MemLayout: "arena+oa",
 	}
-	if rep.Serial, err = benchRun(b, plan, k, 1, 0, 0); err != nil {
+	if p.LegacyMem {
+		rep.MemLayout = "legacy"
+	}
+	if rep.Serial, err = benchRun(b, plan, k, 1, 0, 0, p.LegacyMem); err != nil {
 		return nil, err
 	}
-	if rep.Parallel, err = benchRun(b, plan, k, workers, hashShards, benchHashMinParallel); err != nil {
+	if rep.Parallel, err = benchRun(b, plan, k, workers, hashShards, benchHashMinParallel, p.LegacyMem); err != nil {
 		return nil, err
 	}
 	if rep.Parallel.ElapsedMS > 0 {

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/datasets"
+	"github.com/topk-er/adalsh/internal/obs"
+)
+
+// TestMemLayoutEquivalenceOnBuilders is the memory-layout counterpart
+// of the parallel-hash equivalence test: on a slice of each paper
+// dataset builder it runs the full filter with the legacy layouts
+// (slice-backed signature cache + Go-map bucket tables) and with the
+// reworked ones (paged arenas + pooled open-addressing tables), at
+// workers 1 and 4, with and without the hash cache. Clusters, output,
+// HashEvals, PairsComputed and every observability counter — bucket
+// collisions, merges, cache hits/misses included — must be
+// byte-identical: the layouts may only change where bytes live, never
+// what the filter computes. The pairwise stage is pinned serial so
+// counter equality is exact (its parallel waves may legitimately
+// compare a few extra pairs).
+func TestMemLayoutEquivalenceOnBuilders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full filter sweeps")
+	}
+	p := NewProvider(42)
+	benches := map[string]*datasets.Benchmark{
+		"cora":     p.Cora(1),
+		"spotsigs": p.SpotSigs(1, 0.4),
+		"images":   p.Images("1.05", 15),
+	}
+	const slice = 600
+	for name, full := range benches {
+		b := sliceBenchmark(full, slice)
+		plan, err := p.Plan(b, defaultSeq())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, disableCache := range []bool{false, true} {
+			mode := "cache"
+			if disableCache {
+				mode = "nocache"
+			}
+			for _, workers := range []int{1, 4} {
+				run := func(legacy bool) (*core.Result, map[string]int64) {
+					col := obs.NewCollector()
+					opts := core.Options{
+						K: 5, Workers: workers, HashMinParallel: 1,
+						PairwiseMinPairs: 1 << 62,
+						DisableHashCache: disableCache,
+						Obs:              col,
+					}
+					if legacy {
+						opts.CacheLayout = core.CacheSlices
+						opts.HashMapTables = true
+					}
+					res, err := core.Filter(b.Dataset, plan, opts)
+					if err != nil {
+						t.Fatalf("%s/%s/workers=%d legacy=%v: %v", name, mode, workers, legacy, err)
+					}
+					return res, col.Counters()
+				}
+				label := fmt.Sprintf("%s/%s/workers=%d", name, mode, workers)
+				legacyRes, legacyCtrs := run(true)
+				newRes, newCtrs := run(false)
+				if !reflect.DeepEqual(newRes.Clusters, legacyRes.Clusters) {
+					t.Errorf("%s: clusters differ between memory layouts", label)
+				}
+				if !reflect.DeepEqual(newRes.Output, legacyRes.Output) {
+					t.Errorf("%s: output differs between memory layouts", label)
+				}
+				if !reflect.DeepEqual(newRes.Stats.HashEvals, legacyRes.Stats.HashEvals) {
+					t.Errorf("%s: HashEvals %v != legacy %v", label, newRes.Stats.HashEvals, legacyRes.Stats.HashEvals)
+				}
+				if newRes.Stats.PairsComputed != legacyRes.Stats.PairsComputed {
+					t.Errorf("%s: PairsComputed %d != legacy %d", label, newRes.Stats.PairsComputed, legacyRes.Stats.PairsComputed)
+				}
+				if newRes.Stats.ModelCost != legacyRes.Stats.ModelCost {
+					t.Errorf("%s: ModelCost %v != legacy %v", label, newRes.Stats.ModelCost, legacyRes.Stats.ModelCost)
+				}
+				if !reflect.DeepEqual(newCtrs, legacyCtrs) {
+					t.Errorf("%s: obs counters differ between layouts:\n  arena+oa: %v\n  legacy:   %v", label, newCtrs, legacyCtrs)
+				}
+			}
+		}
+	}
+}

@@ -31,6 +31,11 @@ type Provider struct {
 	// HashShards is the bucket-map shard count of the parallel hash
 	// stage (core.Options.HashShards semantics; 0 means Workers).
 	HashShards int
+	// LegacyMem selects the legacy memory layouts (slice-backed cache,
+	// Go-map bucket tables) for every run the provider drives. Results
+	// and counters are identical either way — the flag exists so
+	// cmd/paperbench -legacy-mem can A/B the memory-layout rework.
+	LegacyMem bool
 
 	mu    sync.Mutex
 	ds    map[string]*record.Dataset
@@ -151,7 +156,12 @@ func (p *Provider) RunAdaLSHConfig(b *datasets.Benchmark, k, khat int, cfg core.
 	if noise != 0 {
 		plan = plan.WithNoise(noise)
 	}
-	return core.Filter(b.Dataset, plan, core.Options{K: k, ReturnClusters: khat, Workers: p.workers(), HashShards: p.HashShards})
+	opts := core.Options{K: k, ReturnClusters: khat, Workers: p.workers(), HashShards: p.HashShards}
+	if p.LegacyMem {
+		opts.CacheLayout = core.CacheSlices
+		opts.HashMapTables = true
+	}
+	return core.Filter(b.Dataset, plan, opts)
 }
 
 // RunLSHX runs the LSH-X blocking baseline (skipPairwise selects the

@@ -18,7 +18,10 @@
 // the same logical work; see the equivalence tests in internal/core).
 package obs
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Stage identifies one instrumented pipeline stage.
 type Stage uint8
@@ -131,6 +134,62 @@ func (c Counter) String() string {
 // by counter).
 const NumCounters = int(numCounters)
 
+// MemStats is a span-scoped delta of the Go runtime's allocation
+// accounting: bytes allocated, allocation count and stop-the-world GC
+// pause time accumulated while the span ran. The counters are
+// process-wide (runtime.MemStats has no per-goroutine view), so
+// concurrent unrelated work leaks into the delta — samples are for
+// single-run benchmarking (experiments.Bench), where the measured run
+// is the only thing executing.
+type MemStats struct {
+	// AllocBytes is the TotalAlloc delta: heap bytes allocated during
+	// the span, freed or not.
+	AllocBytes int64
+	// Mallocs is the heap-object allocation count delta.
+	Mallocs int64
+	// GCPauseNS is the PauseTotalNs delta: stop-the-world GC pause time
+	// during the span.
+	GCPauseNS int64
+}
+
+// MemSnapshot is one point-in-time reading of the runtime allocation
+// counters, taken with TakeMemSnapshot and turned into a span delta
+// with Delta. The zero value is "not sampled".
+type MemSnapshot struct {
+	totalAlloc, mallocs, pauseNS uint64
+	valid                        bool
+}
+
+// TakeMemSnapshot reads the runtime allocation counters. It costs a
+// runtime.ReadMemStats (a brief world stop), which is why memory
+// sampling is opt-in per run rather than always on.
+func TakeMemSnapshot() MemSnapshot {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return MemSnapshot{totalAlloc: m.TotalAlloc, mallocs: m.Mallocs, pauseNS: m.PauseTotalNs, valid: true}
+}
+
+// Valid reports whether the snapshot was actually taken (as opposed to
+// the zero value).
+func (s MemSnapshot) Valid() bool { return s.valid }
+
+// Delta reads the counters again and returns the growth since s.
+func (s MemSnapshot) Delta() MemStats {
+	now := TakeMemSnapshot()
+	return MemStats{
+		AllocBytes: int64(now.totalAlloc - s.totalAlloc),
+		Mallocs:    int64(now.mallocs - s.mallocs),
+		GCPauseNS:  int64(now.pauseNS - s.pauseNS),
+	}
+}
+
+// Add accumulates another delta (for sinks aggregating per stage).
+func (m *MemStats) Add(d MemStats) {
+	m.AllocBytes += d.AllocBytes
+	m.Mallocs += d.Mallocs
+	m.GCPauseNS += d.GCPauseNS
+}
+
 // Span is one completed stage-scoped measurement.
 type Span struct {
 	// Stage identifies the instrumented stage.
@@ -151,6 +210,12 @@ type Span struct {
 	// records of the verified cluster for pairwise stages, dataset
 	// records for whole-run spans.
 	Items int
+	// Mem is the span's allocation delta, valid only when MemSampled is
+	// set (memory sampling is opt-in: StartStageMem, or an explicit
+	// TakeMemSnapshot pair for hand-built spans).
+	Mem MemStats
+	// MemSampled reports whether Mem was measured.
+	MemSampled bool
 }
 
 // Sink receives completed spans and counter deltas. Implementations
@@ -180,6 +245,7 @@ type Timer struct {
 	Span
 	sink  Sink
 	start time.Time
+	mem   MemSnapshot
 }
 
 // StartStage starts a span for the stage. The wall clock runs even
@@ -187,6 +253,15 @@ type Timer struct {
 // stats (core.Stats keeps its wall/work fields regardless of sinks).
 func StartStage(sink Sink, stage Stage) Timer {
 	return Timer{Span: Span{Stage: stage}, sink: sink, start: time.Now()}
+}
+
+// StartStageMem is StartStage plus memory sampling: End fills the
+// span's Mem fields with the allocation delta across the span. Costs
+// two runtime.ReadMemStats; see MemStats for the process-wide caveat.
+func StartStageMem(sink Sink, stage Stage) Timer {
+	t := StartStage(sink, stage)
+	t.mem = TakeMemSnapshot()
+	return t
 }
 
 // Elapsed reports the wall time accumulated so far without ending the
@@ -199,6 +274,10 @@ func (t *Timer) Elapsed() time.Duration { return time.Since(t.start) }
 // Workers field to 1.
 func (t *Timer) End() time.Duration {
 	t.Wall = time.Since(t.start)
+	if t.mem.Valid() {
+		t.Mem = t.mem.Delta()
+		t.MemSampled = true
+	}
 	if t.Work == 0 {
 		t.Work = t.Wall
 	}

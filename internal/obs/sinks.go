@@ -75,6 +75,21 @@ func (c *Collector) StageAgg(stage Stage) (wall, work time.Duration, spans int) 
 	return wall, work, spans
 }
 
+// StageMem aggregates the memory deltas of one stage's sampled spans
+// and reports how many of the stage's spans carried a sample (sampled
+// == 0 means the run did not opt into memory sampling).
+func (c *Collector) StageMem(stage Stage) (mem MemStats, sampled int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.spans {
+		if s.Stage == stage && s.MemSampled {
+			mem.Add(s.Mem)
+			sampled++
+		}
+	}
+	return mem, sampled
+}
+
 // Reset clears counters and spans.
 func (c *Collector) Reset() {
 	for i := range c.counters {
@@ -96,6 +111,10 @@ type jsonlEvent struct {
 	Items   int    `json:"items,omitempty"`
 	Counter string `json:"counter,omitempty"` // count events
 	Delta   int64  `json:"delta,omitempty"`
+	// Memory-sampled span events only (Span.MemSampled).
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+	Mallocs    int64 `json:"mallocs,omitempty"`
+	GCPauseNS  int64 `json:"gc_pause_ns,omitempty"`
 }
 
 // JSONL is the JSON-lines Sink: one JSON object per event, written as
@@ -129,11 +148,15 @@ func (j *JSONL) Count(c Counter, delta int64) {
 
 // Span implements Sink.
 func (j *JSONL) Span(s Span) {
-	j.emit(jsonlEvent{
+	ev := jsonlEvent{
 		Type: "span", Stage: s.Stage.String(),
 		WallUS: s.Wall.Microseconds(), WorkUS: s.Work.Microseconds(),
 		Workers: s.Workers, Waves: s.Waves, Items: s.Items,
-	})
+	}
+	if s.MemSampled {
+		ev.AllocBytes, ev.Mallocs, ev.GCPauseNS = s.Mem.AllocBytes, s.Mem.Mallocs, s.Mem.GCPauseNS
+	}
+	j.emit(ev)
 }
 
 // Err reports the first write error, if any.

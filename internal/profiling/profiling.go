@@ -1,20 +1,27 @@
-// Package profiling wires the standard CPU-profile and execution-trace
-// collectors behind the -pprof/-trace command flags shared by the
-// adalsh and paperbench commands.
+// Package profiling wires the standard CPU-profile, execution-trace
+// and heap-profile collectors behind the -pprof/-trace/-memprofile
+// command flags shared by the adalsh and paperbench commands.
 package profiling
 
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 )
 
 // Start begins CPU profiling to cpuPath and/or execution tracing to
-// tracePath (empty paths disable the respective collector) and returns
-// a stop function that flushes and closes both. The stop function must
-// run before process exit for the files to be complete.
-func Start(cpuPath, tracePath string) (stop func() error, err error) {
+// tracePath, and arranges for a heap ("allocs") profile to be written
+// to memPath when the returned stop function runs (empty paths disable
+// the respective collector). The allocs profile records every
+// allocation since process start with its size, so `go tool pprof
+// -sample_index=alloc_objects` attributes the hot loop's allocation
+// rate by call site — the memory-side companion of the BENCH
+// alloc_bytes fields. The stop function must run before process exit
+// for the files to be complete.
+func Start(cpuPath, tracePath, memPath string) (stop func() error, err error) {
 	var cpuFile, traceFile *os.File
 	cleanup := func() {
 		if cpuFile != nil {
@@ -51,6 +58,23 @@ func Start(cpuPath, tracePath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("profiling: starting trace: %w", err)
 		}
 	}
+	if memPath != "" {
+		// Fail on an unwritable path now, not after the measured run.
+		// The profile often lands next to -stats-json reports whose
+		// directory the run creates later, so make the parent here.
+		if dir := filepath.Dir(memPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				cleanup()
+				return nil, fmt.Errorf("profiling: %w", err)
+			}
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		f.Close()
+	}
 	return func() error {
 		var firstErr error
 		if cpuFile != nil {
@@ -65,6 +89,27 @@ func Start(cpuPath, tracePath string) (stop func() error, err error) {
 				firstErr = err
 			}
 		}
+		if memPath != "" {
+			if err := writeMemProfile(memPath); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 		return firstErr
 	}, nil
+}
+
+// writeMemProfile snapshots the allocs profile to path. A GC first
+// brings the profile's in-use numbers up to date (the alloc_* sample
+// indexes are unaffected — they are cumulative).
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: writing mem profile: %w", err)
+	}
+	return f.Close()
 }
