@@ -348,7 +348,9 @@ func FilterPairs(ds *Dataset, rule Rule, cfg Config) (*Result, error) {
 // Stream answers repeated top-k queries over a growing dataset,
 // reusing hash values across queries (the online setting of the
 // paper's Section 9). Create with NewStream, feed with Add, query with
-// TopK.
+// TopK; after any TopK, Query answers online point lookups ("which
+// entity does this record belong to?") in microseconds by probing the
+// retained round-one bucket state instead of re-clustering.
 type Stream = core.Stream
 
 // NewStream creates an empty record stream for the given matching
@@ -356,6 +358,24 @@ type Stream = core.Stream
 func NewStream(rule Rule, cfg SequenceConfig) *Stream {
 	return core.NewStream(rule, cfg)
 }
+
+// QueryIndex is the point-lookup index a TopK/TopKClusters run
+// captures: the round-one bucket state of the filter plus the final
+// cluster assignment. Stream.Query probes it transparently; use
+// Stream.QueryIndex for direct QueryIndex.Query calls with custom
+// QueryOptions.
+type QueryIndex = core.QueryIndex
+
+// QueryOptions tunes one point lookup (probe count, stats sink).
+type QueryOptions = core.QueryOptions
+
+// QueryMatch is one candidate cluster of a point lookup, with its
+// verified and candidate record counts.
+type QueryMatch = core.QueryMatch
+
+// QueryResult is the outcome of one point lookup: candidate clusters
+// best first, plus the raw candidate and verified-match record IDs.
+type QueryResult = core.QueryResult
 
 // RecoveryResult is the outcome of the recovery process.
 type RecoveryResult = core.RecoveryResult

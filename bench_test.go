@@ -113,6 +113,36 @@ func BenchmarkFilterPairsSpotSigs(b *testing.B) {
 	}
 }
 
+// BenchmarkQuery measures the online point-query path: one index
+// captured from a filter over the Cora workload, then one
+// QueryIndex.Query per op (cycling through the dataset's records as
+// probes). The per-op time is the full lookup — multi-probe bucket
+// walks plus prepared-kernel verification of the candidates — and
+// should sit well under 100us at this scale.
+func BenchmarkQuery(b *testing.B) {
+	p := provider()
+	bench := p.Cora(1)
+	plan, err := p.Plan(bench, core.SequenceConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := &core.QueryIndex{}
+	if _, err := core.Filter(bench.Dataset, plan, core.Options{K: 10, Capture: ix}); err != nil {
+		b.Fatal(err)
+	}
+	for _, probes := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("probes=%d", probes), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Query(&bench.Dataset.Records[i%bench.Dataset.Len()], 3,
+					core.QueryOptions{Probes: probes}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // Micro-benchmarks of the substrates.
 
 func BenchmarkMinHashFunction(b *testing.B) {

@@ -6,6 +6,8 @@
 //	adalsh -input data.json -rule 'jaccard@0 <= 0.6' -k 10 [-khat 20]
 //	       [-method ada|lsh|pairs] [-x 1280] [-workers 0] [-hash-shards 0]
 //	       [-seed 42] [-json]
+//	adalsh -input data.json -rule '...' -k 10 -query 5,17 [-query-m 3]
+//	       [-query-probes 2]   # online point lookups after one build
 //
 // The dataset format is documented in internal/dsio. The rule language
 // (internal/rulespec):
@@ -24,6 +26,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	adalsh "github.com/topk-er/adalsh"
 	"github.com/topk-er/adalsh/internal/dsio"
@@ -52,6 +57,9 @@ func main() {
 	memprofPath := flag.String("memprofile", "", "write an allocation (heap) profile of the run to this file (inspect with go tool pprof -sample_index=alloc_objects)")
 	legacyMem := flag.Bool("legacy-mem", false, "use the legacy memory layouts (slice-backed hash cache, map bucket tables); output is identical — for A/B benchmarking")
 	statsJSON := flag.String("stats-json", "", "stream per-stage spans and work counters as JSON lines to this file (- for stderr)")
+	queryRecs := flag.String("query", "", "comma-separated record indices to point-query after one top-k build (online Stream.Query mode; -method ada only)")
+	queryM := flag.Int("query-m", 3, "candidate clusters to return per -query lookup")
+	queryProbes := flag.Int("query-probes", 0, "multi-probe keys per table for -query (0 = default)")
 	flag.Parse()
 
 	if *input == "" || *ruleStr == "" {
@@ -112,6 +120,15 @@ func main() {
 			}
 		}
 	}()
+	if *queryRecs != "" {
+		if *method != "ada" {
+			log.Fatalf("-query requires -method ada (got %q)", *method)
+		}
+		if err := runQueries(ds, rule, cfg, *queryRecs, *queryM, *queryProbes, *asJSON); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	var res *adalsh.Result
 	switch *method {
 	case "ada":
@@ -217,4 +234,87 @@ func main() {
 		g := metrics.Gold(ds, res.Output, *k)
 		fmt.Printf("vs ground truth: precision %.3f recall %.3f F1 %.3f\n", g.Precision, g.Recall, g.F1)
 	}
+}
+
+// runQueries is the -query mode: one top-k build through a Stream
+// (which captures the point-query index), then an online Query per
+// requested record — no re-clustering between lookups.
+func runQueries(ds *adalsh.Dataset, rule adalsh.Rule, cfg adalsh.Config, recsArg string, m, probes int, asJSON bool) error {
+	var ids []int
+	for _, tok := range strings.Split(recsArg, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return fmt.Errorf("-query: bad record index %q: %v", tok, err)
+		}
+		if id < 0 || id >= ds.Len() {
+			return fmt.Errorf("-query: record index %d out of range [0,%d)", id, ds.Len())
+		}
+		ids = append(ids, id)
+	}
+	st := adalsh.NewStream(rule, cfg.Sequence)
+	st.SetWorkers(cfg.Workers, cfg.HashShards)
+	st.SetObs(cfg.Obs)
+	st.SetQueryProbes(probes)
+	for i := range ds.Records {
+		st.Add(ds.Records[i].Fields...)
+	}
+	buildStart := time.Now()
+	if _, err := st.TopKClusters(cfg.K, cfg.ReturnClusters); err != nil {
+		return err
+	}
+	buildMS := time.Since(buildStart).Seconds() * 1000
+
+	type match struct {
+		Cluster    int     `json:"cluster"`
+		Matched    int     `json:"matched"`
+		Candidates int     `json:"candidates"`
+		Records    []int32 `json:"records"`
+	}
+	type lookup struct {
+		Record    int     `json:"record"`
+		Probes    int     `json:"probes"`
+		ElapsedUS float64 `json:"elapsed_us"`
+		Matches   []match `json:"matches"`
+	}
+	var lookups []lookup
+	for _, id := range ids {
+		start := time.Now()
+		qr, err := st.Query(&ds.Records[id], m)
+		if err != nil {
+			return err
+		}
+		lk := lookup{Record: id, Probes: qr.Probes, ElapsedUS: time.Since(start).Seconds() * 1e6}
+		for _, qm := range qr.Matches {
+			lk.Matches = append(lk.Matches, match{
+				Cluster: qm.Cluster, Matched: qm.Matched, Candidates: qm.Candidates, Records: qm.Records,
+			})
+		}
+		lookups = append(lookups, lk)
+	}
+	if asJSON {
+		report := struct {
+			Dataset string   `json:"dataset"`
+			Records int      `json:"records"`
+			K       int      `json:"k"`
+			BuildMS float64  `json:"build_ms"`
+			Lookups []lookup `json:"lookups"`
+		}{Dataset: ds.Name, Records: ds.Len(), K: cfg.K, BuildMS: buildMS, Lookups: lookups}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Printf("%s: %d records, built top-%d query index in %.1fms\n", ds.Name, ds.Len(), cfg.K, buildMS)
+	for _, lk := range lookups {
+		fmt.Printf("query %d (%d probes, %.0fus):", lk.Record, lk.Probes, lk.ElapsedUS)
+		if len(lk.Matches) == 0 {
+			fmt.Println(" no matching cluster")
+			continue
+		}
+		fmt.Println()
+		for _, qm := range lk.Matches {
+			fmt.Printf("  cluster %d: %d/%d candidates verified, %d records\n",
+				qm.Cluster+1, qm.Matched, qm.Candidates, len(qm.Records))
+		}
+	}
+	return nil
 }

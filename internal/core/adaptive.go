@@ -102,6 +102,16 @@ type Options struct {
 	// with a progress snapshot — hook for logging, tracing or UI.
 	// Keep it fast; it runs inside the filtering loop.
 	OnRound func(RoundInfo)
+
+	// Capture, when non-nil, populates a point-lookup index as the run
+	// proceeds: round 1's bucket state (H_1 over the whole dataset —
+	// the only full-coverage round) is retained instead of recycled,
+	// and every emitted cluster is registered, so QueryIndex.Query can
+	// answer "which entity is this record?" afterwards without another
+	// filtering pass. The run's output is unaffected. Any bucket state
+	// the index retained from a previous run should be released first
+	// (QueryIndex.Release); Stream does this automatically.
+	Capture *QueryIndex
 }
 
 // RoundInfo is the per-round progress snapshot passed to
@@ -235,6 +245,9 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 	if opts.K < 1 {
 		return fmt.Errorf("core: K = %d, want >= 1", opts.K)
 	}
+	if opts.ReturnClusters < 0 {
+		return fmt.Errorf("core: ReturnClusters = %d, want >= 0", opts.ReturnClusters)
+	}
 	if len(plan.Funcs) == 0 {
 		return fmt.Errorf("core: plan has no hashing functions")
 	}
@@ -335,7 +348,11 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		})
 	}
 	if ds.Len() > 0 {
+		if opts.Capture != nil {
+			hopts.Capture = opts.Capture.beginCapture(ds, plan, all)
+		}
 		first := hashRound(all, plan.Funcs[0])
+		hopts.Capture = nil // only round 1 covers the whole dataset
 		stats.ModelCost += plan.Cost.StepCost(plan.Funcs[0], nil) * float64(ds.Len())
 		for _, recs := range first {
 			bins.Add(&workCluster{recs: recs, level: 1, final: L == 1})
@@ -358,6 +375,9 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 			emitted++
 			obs.Count(opts.Obs, obs.CtrClustersEmitted, 1)
 			notify("final", len(c.recs), out.Level)
+			if opts.Capture != nil {
+				opts.Capture.registerCluster(out)
+			}
 			if !emit(out) {
 				break
 			}
@@ -435,5 +455,8 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 	runTimer.Items = ds.Len()
 	runTimer.Work = runTimer.Elapsed() - (stats.HashWall + stats.PairwiseWall) + (stats.HashWork + stats.PairwiseWork)
 	stats.Elapsed = runTimer.End()
+	if opts.Capture != nil && ds.Len() > 0 {
+		opts.Capture.finish()
+	}
 	return nil
 }

@@ -18,3 +18,7 @@ func SetPairwiseParallelThreshold(n int64) func() {
 	pairwiseParallelThreshold = n
 	return func() { pairwiseParallelThreshold = old }
 }
+
+// EffReplanGrowth exposes the stream's effective replan growth factor
+// so tests can pin SetReplanGrowth's input normalization.
+func (s *Stream) EffReplanGrowth() float64 { return s.effReplanGrowth() }

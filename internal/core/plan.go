@@ -77,10 +77,20 @@ func (p *Plan) L() int { return len(p.Funcs) }
 // always compatible. It inspects the first record only — Dataset.
 // Validate guarantees a uniform layout.
 func (p *Plan) CompatibleWith(ds *record.Dataset) error {
-	if ds.Len() == 0 || len(p.HasherDescs) == 0 {
+	if ds.Len() == 0 {
 		return nil
 	}
-	first := &ds.Records[0]
+	return p.CompatibleWithRecord(&ds.Records[0])
+}
+
+// CompatibleWithRecord checks a single record's field layout against
+// the plan's hashers — the per-record form of CompatibleWith, used to
+// validate probe records handed to the online query path before any
+// hasher can panic on them.
+func (p *Plan) CompatibleWithRecord(r *record.Record) error {
+	if len(p.HasherDescs) == 0 {
+		return nil
+	}
 	var check func(d lshfamily.Desc) error
 	check = func(d lshfamily.Desc) error {
 		if d.Kind == lshfamily.KindWeightedMix {
@@ -91,10 +101,10 @@ func (p *Plan) CompatibleWith(ds *record.Dataset) error {
 			}
 			return nil
 		}
-		if d.Field < 0 || d.Field >= len(first.Fields) {
-			return fmt.Errorf("core: plan hashes field %d, dataset records have %d fields", d.Field, len(first.Fields))
+		if d.Field < 0 || d.Field >= len(r.Fields) {
+			return fmt.Errorf("core: plan hashes field %d, dataset records have %d fields", d.Field, len(r.Fields))
 		}
-		f := first.Fields[d.Field]
+		f := r.Fields[d.Field]
 		switch d.Kind {
 		case lshfamily.KindHyperplane, lshfamily.KindPStable:
 			if f.Kind() != record.VectorKind {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"reflect"
 
 	"github.com/topk-er/adalsh/internal/distance"
@@ -50,6 +51,21 @@ type Stream struct {
 	plannedAt int
 	// replans counts plan re-designs performed so far.
 	replans int
+
+	// qix is the point-lookup index captured by the latest TopKClusters
+	// run (see Query); nil before the first run.
+	qix *QueryIndex
+	// qBuiltAt is ds.Len() when qix was built.
+	qBuiltAt int
+	// qLastK / qLastKhat replay the latest TopKClusters arguments when
+	// Query must rebuild a stale index.
+	qLastK, qLastKhat int
+	// queryProbes is the per-table probe-key count for Query (0 means
+	// DefaultQueryProbes).
+	queryProbes int
+	// queryRefresh is the add count past which Query rebuilds the
+	// index (>0 absolute, 0 heuristic, <0 never; see SetQueryRefresh).
+	queryRefresh int
 }
 
 // NewStream creates an empty stream for the given matching rule. The
@@ -89,11 +105,14 @@ func (s *Stream) SetWorkers(workers, hashShards int) {
 func (s *Stream) SetObs(sink obs.Sink) { s.sink = sink }
 
 // SetReplanGrowth sets the dataset growth factor past which a query
-// re-designs the plan. Values <= 1 reset to the default (2); pass
-// math.Inf(1) to pin the first plan for the stream's lifetime (the
-// pre-fix behaviour).
+// re-designs the plan. The accepted range is (1, +Inf]: pass
+// math.Inf(1) to pin the first plan for the stream's lifetime.
+// Anything else — values <= 1, NaN, or other non-finite garbage —
+// resets to the default (2) instead of silently poisoning the growth
+// comparison (NaN <= 1 is false, so NaN used to slip through and
+// disable re-planning forever).
 func (s *Stream) SetReplanGrowth(factor float64) {
-	if factor <= 1 {
+	if math.IsNaN(factor) || factor <= 1 {
 		factor = 0
 	}
 	s.replanGrowth = factor
@@ -124,31 +143,121 @@ func (s *Stream) TopK(k int) (*Result, error) {
 }
 
 // TopKClusters is TopK with an explicit k-hat (number of clusters to
-// return).
+// return). Every successful run also rebuilds the stream's point-query
+// index (see Query).
 func (s *Stream) TopKClusters(k, returnClusters int) (*Result, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: stream k = %d, want >= 1", k)
+	}
+	if returnClusters < 0 {
+		return nil, fmt.Errorf("core: stream returnClusters = %d, want >= 0", returnClusters)
+	}
 	if s.ds.Len() == 0 {
 		return nil, fmt.Errorf("core: stream has no records")
 	}
 	if err := s.ds.Validate(); err != nil {
 		return nil, err
 	}
+	// The span ends on every path below: error paths end it with the
+	// Errored marker, so span-pairing sinks (JSONL) stay balanced.
 	qt := obs.StartStage(s.sink, obs.StageStream)
 	if err := s.ensurePlan(); err != nil {
+		qt.Errored = true
+		qt.End()
 		return nil, err
 	}
 	s.cache.Grow(s.ds.Len())
+	if s.qix == nil {
+		s.qix = &QueryIndex{}
+	}
+	s.qix.Release(s.pool)
 	res, err := Filter(s.ds, s.plan, Options{
 		K: k, ReturnClusters: returnClusters, Cache: s.cache, HashPool: s.pool,
 		Workers: s.workers, HashShards: s.shards, Obs: s.sink,
+		Capture: s.qix,
 	})
 	if err != nil {
+		qt.Errored = true
+		qt.End()
 		return nil, err
 	}
+	s.qBuiltAt = s.ds.Len()
+	s.qLastK, s.qLastKhat = k, returnClusters
 	qt.Workers = res.Stats.Workers
 	qt.Items = s.ds.Len()
 	qt.End()
 	return res, nil
 }
+
+// SetQueryProbes sets the per-table probe-key count used by Query
+// (QueryOptions.Probes semantics: 1 probes exact buckets only, higher
+// values add perturbed keys in ascending penalty; 0 resets to
+// DefaultQueryProbes).
+func (s *Stream) SetQueryProbes(probes int) { s.queryProbes = probes }
+
+// SetQueryRefresh sets how many Adds after an index build Query
+// tolerates before rebuilding: records added after a build are
+// invisible to point queries until the next rebuild, so the threshold
+// trades staleness against rebuild cost. n > 0 rebuilds after n adds;
+// n == 0 (the default) uses a heuristic — a quarter of the indexed
+// size, at least 16; n < 0 never rebuilds automatically (queries run
+// against the last build until TopK/TopKClusters is called again).
+func (s *Stream) SetQueryRefresh(n int) { s.queryRefresh = n }
+
+// queryStale reports whether enough records arrived since the last
+// index build to warrant a rebuild.
+func (s *Stream) queryStale() bool {
+	if s.queryRefresh < 0 {
+		return false
+	}
+	threshold := s.queryRefresh
+	if threshold == 0 {
+		threshold = s.qBuiltAt / 4
+		if threshold < 16 {
+			threshold = 16
+		}
+	}
+	return s.ds.Len()-s.qBuiltAt >= threshold
+}
+
+// Query answers an online point lookup: which of the stream's entities
+// does record q belong to? It probes the point-query index the latest
+// TopKClusters run captured — multi-probe bucket lookups under H_1
+// plus prepared-kernel verification of the bucket candidates — and
+// returns at most m candidate clusters, best first. No global
+// filtering pass runs: after the index is built, a query costs
+// microseconds and reports only a StageQuery span.
+//
+// The index goes stale as records arrive (new records are invisible
+// to it); Query transparently rebuilds it — re-running the last
+// TopKClusters — once the adds since the last build exceed the
+// SetQueryRefresh threshold. TopK or TopKClusters must have succeeded
+// at least once before the first Query. Like the rest of Stream,
+// Query is not safe for concurrent use with Add or TopK; concurrent
+// Query calls against a fresh (non-stale) index are safe.
+func (s *Stream) Query(q *record.Record, m int) (*QueryResult, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("core: query m = %d, want >= 1", m)
+	}
+	if !s.qix.Built() {
+		if s.qLastK == 0 {
+			return nil, fmt.Errorf("core: stream query before TopK (no index to probe)")
+		}
+		if _, err := s.TopKClusters(s.qLastK, s.qLastKhat); err != nil {
+			return nil, err
+		}
+	} else if s.queryStale() {
+		if _, err := s.TopKClusters(s.qLastK, s.qLastKhat); err != nil {
+			return nil, err
+		}
+	}
+	return s.qix.Query(q, m, QueryOptions{Probes: s.queryProbes, Obs: s.sink})
+}
+
+// QueryIndex exposes the stream's point-lookup index (nil before the
+// first TopK/TopKClusters run) for direct QueryIndex.Query calls with
+// custom options.
+func (s *Stream) QueryIndex() *QueryIndex { return s.qix }
 
 // ensurePlan designs the plan on first use and re-designs it when the
 // dataset has outgrown the design-time size by the configured factor.

@@ -51,6 +51,14 @@ type HashOptions struct {
 	// transient pool for this invocation. Pools must not be shared by
 	// concurrently running invocations.
 	Pool *HashPool
+	// Capture, when non-nil, retains this invocation's bucket state
+	// for online point lookups: the bucket tables are kept out of the
+	// pool's free list and each record's bucket predecessor is
+	// recorded, so full bucket chains stay reconstructable after the
+	// invocation returns (see BucketCapture / QueryIndex). The
+	// partition and every counter are identical with or without a
+	// capture. Release the capture to return the tables to the pool.
+	Capture *BucketCapture
 }
 
 func (o HashOptions) resolve() HashOptions {
@@ -138,6 +146,12 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 	}
 	forest := ppt.NewForest(len(recs))
 	numTables := len(hf.Tables)
+	capture := opts.Capture
+	var prev [][]int32
+	if capture != nil {
+		capture.begin(numTables, len(recs))
+		prev = capture.prev
+	}
 
 	// parWall/parBusyNS track the wall time spent inside the parallel
 	// sections and the matching summed worker busy time, so Work can
@@ -187,14 +201,19 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 		// key slice, and its edge list is deterministic.
 		var shardTabs []*oaTable
 		var edgesByShard [][]mergeEdge
+		var mapsByShard [][]map[uint64]int32
+		if capture != nil {
+			capture.shards = opts.Shards
+		}
 		if opts.MapTables {
 			edgesByShard = make([][]mergeEdge, opts.Shards)
+			mapsByShard = make([][]map[uint64]int32, opts.Shards)
 			for s := 0; s < opts.Shards; s++ {
 				wg.Add(1)
 				go func(s int) {
 					defer wg.Done()
 					t0 := time.Now()
-					edgesByShard[s] = shardEdgesMap(keys, len(recs), numTables, s, opts.Shards)
+					edgesByShard[s], mapsByShard[s] = shardEdgesMap(keys, len(recs), numTables, s, opts.Shards, prev)
 					atomic.AddInt64(&parBusyNS, int64(time.Since(t0)))
 				}(s)
 			}
@@ -209,7 +228,7 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 				go func(s int, tabs []*oaTable) {
 					defer wg.Done()
 					t0 := time.Now()
-					edgesByShard[s] = shardEdges(keys, len(recs), numTables, s, opts.Shards, tabs, edgesByShard[s])
+					edgesByShard[s] = shardEdges(keys, len(recs), numTables, s, opts.Shards, tabs, edgesByShard[s], prev)
 					atomic.AddInt64(&parBusyNS, int64(time.Since(t0)))
 				}(s, shardTabs[s*numTables:(s+1)*numTables])
 			}
@@ -237,7 +256,19 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 		}
 		if shardTabs != nil {
 			pool.putEdgeSlots(edgesByShard)
-			pool.putTables(shardTabs)
+			if capture != nil {
+				capture.tables = shardTabs
+			} else {
+				pool.putTables(shardTabs)
+			}
+		} else if capture != nil {
+			// Flatten the per-shard lazily-created maps into the
+			// capture's shard*numTables+t layout (missing maps stay nil:
+			// no key of that table routed to that shard).
+			capture.maps = make([]map[uint64]int32, opts.Shards*numTables)
+			for s, maps := range mapsByShard {
+				copy(capture.maps[s*numTables:(s+1)*numTables], maps)
+			}
 		}
 	} else if opts.MapTables {
 		// Legacy serial path: one pass in record order over per-table
@@ -261,6 +292,9 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 				}
 				if occupied {
 					collisions++
+					if prev != nil {
+						prev[t][li] = last
+					}
 					ra, rb := forest.Root(int(last)), forest.Root(li)
 					if ra != rb {
 						forest.Merge(ra, rb) // case 3/4 merge
@@ -274,6 +308,9 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 		}
 		scratch.flushEvals(evals)
 		pool.putScratch(scratch)
+		if capture != nil {
+			capture.maps = tables
+		}
 	} else {
 		// Serial path: one pass in record order, inserting into pooled
 		// per-table open-addressing tables (fresh contents by epoch
@@ -291,6 +328,9 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 				}
 				if occupied {
 					collisions++
+					if prev != nil {
+						prev[t][li] = last
+					}
 					ra, rb := forest.Root(int(last)), forest.Root(li)
 					if ra != rb {
 						forest.Merge(ra, rb) // case 3/4 merge
@@ -301,7 +341,11 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 		}
 		scratch.flushEvals(evals)
 		pool.putScratch(scratch)
-		pool.putTables(tables)
+		if capture != nil {
+			capture.tables = tables
+		} else {
+			pool.putTables(tables)
+		}
 	}
 	out := collectClusters(forest, recs)
 	if st != nil {
@@ -329,7 +373,11 @@ func keyShard(key uint64, shards int) int {
 // in insertion order. Each bucket entry holds the last record added,
 // exactly as on the serial path. tabs holds one epoch-cleared table
 // per hash table; both it and the returned edge list are pool-owned.
-func shardEdges(keys []uint64, numRecs, numTables, shard, shards int, tabs []*oaTable, edges []mergeEdge) []mergeEdge {
+// A non-nil prev additionally records each record's bucket
+// predecessor (prev[t][li], for a BucketCapture); every (t, li) cell
+// belongs to exactly one shard — the one owning key(li, t) — so
+// concurrent shards never write the same cell.
+func shardEdges(keys []uint64, numRecs, numTables, shard, shards int, tabs []*oaTable, edges []mergeEdge, prev [][]int32) []mergeEdge {
 	for li := 0; li < numRecs; li++ {
 		row := keys[li*numTables : (li+1)*numTables]
 		for t, key := range row {
@@ -338,6 +386,9 @@ func shardEdges(keys []uint64, numRecs, numTables, shard, shards int, tabs []*oa
 			}
 			if last, occupied := tabs[t].swap(key, int32(li)); occupied {
 				edges = append(edges, mergeEdge{a: last, b: int32(li)})
+				if prev != nil {
+					prev[t][li] = last
+				}
 			}
 		}
 	}
@@ -345,8 +396,9 @@ func shardEdges(keys []uint64, numRecs, numTables, shard, shards int, tabs []*oa
 }
 
 // shardEdgesMap is shardEdges over legacy Go maps (the reference
-// implementation the equivalence tests compare against).
-func shardEdgesMap(keys []uint64, numRecs, numTables, shard, shards int) []mergeEdge {
+// implementation the equivalence tests compare against). The lazily
+// created maps are returned so a BucketCapture can retain them.
+func shardEdgesMap(keys []uint64, numRecs, numTables, shard, shards int, prev [][]int32) ([]mergeEdge, []map[uint64]int32) {
 	var edges []mergeEdge
 	maps := make([]map[uint64]int32, numTables)
 	for li := 0; li < numRecs; li++ {
@@ -362,11 +414,14 @@ func shardEdgesMap(keys []uint64, numRecs, numTables, shard, shards int) []merge
 			}
 			if last, occupied := m[key]; occupied {
 				edges = append(edges, mergeEdge{a: last, b: int32(li)})
+				if prev != nil {
+					prev[t][li] = last
+				}
 			}
 			m[key] = int32(li)
 		}
 	}
-	return edges
+	return edges, maps
 }
 
 // keyScratch computes a record's bucket keys, either through the

@@ -6,6 +6,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"time"
 
 	"github.com/topk-er/adalsh/internal/core"
 	"github.com/topk-er/adalsh/internal/datasets"
@@ -72,6 +73,59 @@ type BenchReport struct {
 	Serial          RunBench `json:"serial"`
 	Parallel        RunBench `json:"parallel"`
 	SpeedupVsSerial float64  `json:"speedup_vs_serial"`
+	// Query benchmarks the online point-query path against the same
+	// dataset: one captured index, then one lookup per sampled record.
+	Query QueryBench `json:"query"`
+}
+
+// QueryBench summarizes the online point-query path (Stream.Query /
+// QueryIndex.Query): per-lookup latency quantiles plus the probe and
+// candidate work counters, over one index captured by a serial filter.
+type QueryBench struct {
+	// Lookups is the number of point queries timed.
+	Lookups int `json:"lookups"`
+	// MedianUS / P95US are per-lookup latency quantiles in microseconds.
+	MedianUS float64 `json:"median_us"`
+	P95US    float64 `json:"p95_us"`
+	// Probes / Candidates are the CtrQueryProbes / CtrQueryCandidates
+	// totals across the lookups (bucket keys probed, records verified).
+	Probes     int64 `json:"query_probes"`
+	Candidates int64 `json:"query_candidates"`
+}
+
+// benchQueryLookups caps the number of point queries a QueryBench
+// times (records are sampled evenly when the dataset is larger).
+const benchQueryLookups = 256
+
+// benchQuery captures a point-query index from one serial filter run
+// and times a Query per sampled record.
+func benchQuery(b *datasets.Benchmark, plan *core.Plan, k int) (QueryBench, error) {
+	ix := &core.QueryIndex{}
+	if _, err := core.Filter(b.Dataset, plan, core.Options{K: k, Workers: 1, Capture: ix}); err != nil {
+		return QueryBench{}, err
+	}
+	stride := 1
+	if n := b.Dataset.Len(); n > benchQueryLookups {
+		stride = n / benchQueryLookups
+	}
+	col := obs.NewCollector()
+	var lat []float64
+	for i := 0; i < b.Dataset.Len(); i += stride {
+		start := time.Now()
+		if _, err := ix.Query(&b.Dataset.Records[i], 3, core.QueryOptions{Obs: col}); err != nil {
+			return QueryBench{}, err
+		}
+		lat = append(lat, time.Since(start).Seconds()*1e6)
+	}
+	sort.Float64s(lat)
+	counters := col.Counters()
+	return QueryBench{
+		Lookups:    len(lat),
+		MedianUS:   lat[len(lat)/2],
+		P95US:      lat[len(lat)*95/100],
+		Probes:     counters[obs.CtrQueryProbes.String()],
+		Candidates: counters[obs.CtrQueryCandidates.String()],
+	}, nil
 }
 
 // benchHashMinParallel is the cluster-size floor for the parallel
@@ -161,6 +215,9 @@ func Bench(p *Provider, name string, b *datasets.Benchmark, k, workers, hashShar
 	}
 	if rep.Parallel.ElapsedMS > 0 {
 		rep.SpeedupVsSerial = rep.Serial.ElapsedMS / rep.Parallel.ElapsedMS
+	}
+	if rep.Query, err = benchQuery(b, plan, k); err != nil {
+		return nil, err
 	}
 	return rep, nil
 }

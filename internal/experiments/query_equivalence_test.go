@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/datasets"
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// TestQueryEquivalenceOnBuilders checks the online point-query path
+// against the full filtering output on slices of the paper datasets
+// (Cora, SpotSigs): for every record the filter clustered, probing the
+// captured index with that record must (a) report candidates that are
+// valid record IDs of the slice, (b) rank the record's own output
+// cluster first, and (c) return the identical answer whether the index
+// was captured by a serial or a 4-worker filter run.
+func TestQueryEquivalenceOnBuilders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full filter runs per dataset")
+	}
+	p := NewProvider(42)
+	benches := map[string]*datasets.Benchmark{
+		"cora":     p.Cora(1),
+		"spotsigs": p.SpotSigs(1, 0.4),
+	}
+	const slice = 500
+	for name, b := range benches {
+		ds := b.Dataset
+		if ds.Len() > slice {
+			ids := make([]int, slice)
+			for i := range ids {
+				ids[i] = i
+			}
+			ds = ds.Subset(ds.Name+"-slice", ids)
+		}
+		plan, err := core.DesignPlan(ds, b.Rule, defaultSeq())
+		if err != nil {
+			t.Fatalf("%s: DesignPlan: %v", name, err)
+		}
+		run := func(workers int) (*core.Result, *core.QueryIndex) {
+			ix := &core.QueryIndex{}
+			res, err := core.Filter(ds, plan, core.Options{
+				K: 5, Workers: workers, Capture: ix,
+				PairwiseMinPairs: 1 << 62, // pin pairwise serial: identical partitions
+			})
+			if err != nil {
+				t.Fatalf("%s: Filter(workers=%d): %v", name, workers, err)
+			}
+			if !ix.Built() {
+				t.Fatalf("%s: workers=%d capture not built", name, workers)
+			}
+			return res, ix
+		}
+		res, ix := run(1)
+		_, ix4 := run(4)
+
+		clusterOf := make(map[int32]int)
+		for ord, c := range res.Clusters {
+			for _, r := range c.Records {
+				clusterOf[r] = ord
+			}
+		}
+		queried, agreed := 0, 0
+		for rec, ord := range clusterOf {
+			got, err := ix.Query(&ds.Records[rec], 1, core.QueryOptions{})
+			if err != nil {
+				t.Fatalf("%s: Query(%d): %v", name, rec, err)
+			}
+			for _, c := range got.Candidates {
+				if c < 0 || int(c) >= ds.Len() {
+					t.Fatalf("%s: Query(%d): candidate %d out of range", name, rec, c)
+				}
+			}
+			got4, err := ix4.Query(&ds.Records[rec], 1, core.QueryOptions{})
+			if err != nil {
+				t.Fatalf("%s: parallel-capture Query(%d): %v", name, rec, err)
+			}
+			if !reflect.DeepEqual(got4, got) {
+				t.Fatalf("%s: Query(%d) differs between serial and parallel captures", name, rec)
+			}
+			queried++
+			if len(got.Matches) > 0 && got.Matches[0].Cluster == ord {
+				agreed++
+			}
+		}
+		if queried == 0 {
+			t.Fatalf("%s: filter produced no clustered records to query", name)
+		}
+		// Exact-record probes collide with themselves in every table, so
+		// the record's own cluster must win: demand full agreement.
+		if agreed != queried {
+			t.Errorf("%s: %d/%d clustered records ranked their own cluster first", name, agreed, queried)
+		}
+		t.Logf("%s: %d records, %d clustered records queried", name, ds.Len(), queried)
+	}
+}
+
+// TestQueryUnclusteredOnCora checks the negative path on real data: a
+// probe record synthesized to share nothing with the dataset must come
+// back with zero matches (candidates may still arise from chance
+// collisions; verification rejects them).
+func TestQueryUnclusteredOnCora(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full filter run")
+	}
+	p := NewProvider(42)
+	b := p.Cora(1)
+	plan, err := core.DesignPlan(b.Dataset, b.Rule, defaultSeq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := &core.QueryIndex{}
+	if _, err := core.Filter(b.Dataset, plan, core.Options{K: 5, Capture: ix}); err != nil {
+		t.Fatal(err)
+	}
+	fields := make([]record.Field, b.Dataset.NumFields())
+	for f := range fields {
+		switch b.Dataset.Records[0].Fields[f].(type) {
+		case record.Set:
+			fields[f] = record.NewSet([]uint64{0xdeadbeef, 0xfeedface, 0x0ddba11})
+		default:
+			t.Skipf("field %d is not a set; fixture only covers Cora's layout", f)
+		}
+	}
+	probe := record.Record{Fields: fields}
+	got, err := ix.Query(&probe, 3, core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Matches) != 0 {
+		t.Fatalf("alien probe matched %d clusters, want 0", len(got.Matches))
+	}
+}

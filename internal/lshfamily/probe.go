@@ -1,0 +1,171 @@
+package lshfamily
+
+import (
+	"math"
+
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// This file implements the multi-probe side of the LSH families: for an
+// online point query, probing only the exact bucket of each table
+// wastes the information the base hash functions computed on the way to
+// the bucket key. Every family knows which of its hash values was a
+// near miss — a vector barely on one side of a hyperplane, a set whose
+// second-smallest element hash trails the minimum closely, a projection
+// near a quantization boundary — and the runner-up value there is where
+// a true neighbor most likely landed instead. Probing a handful of
+// single-perturbation keys per table (the probe sequences of Lv et al.,
+// "Multi-Probe LSH", as used by adveil's NumTables/NumProbes ANN layer)
+// buys back the recall of extra tables without storing them.
+
+// ProbeAlt is the runner-up hash value of one base function on one
+// record: the value the function would most plausibly emit for a near
+// neighbor that does not collide exactly, and a penalty ranking how
+// plausible that perturbation is (lower = more likely).
+type ProbeAlt struct {
+	// Alt is the runner-up hash value.
+	Alt uint64
+	// Penalty ranks the perturbation: 0 means the record sat exactly on
+	// the decision boundary (a neighbor is as likely to land on Alt as
+	// on the base value); +Inf means no meaningful alternative exists
+	// (the position is never perturbed). Penalties are normalized to be
+	// comparable across families: hyperplane and p-stable report a
+	// boundary margin in [0, ~1], MinHash the normalized gap between
+	// the two smallest element hashes, bit sampling a flat 0.5.
+	Penalty float64
+}
+
+// noAlt marks a position that cannot be perturbed.
+var noAlt = ProbeAlt{Penalty: math.Inf(1)}
+
+// MultiProber is an optional Hasher extension: ProbeAlts fills out[i]
+// with the runner-up value and perturbation penalty of base functions
+// [lo, hi) on record r. The base values themselves come from Hash /
+// HashBatch; ProbeAlts answers "and where else could a neighbor be?".
+type MultiProber interface {
+	Hasher
+	ProbeAlts(lo, hi int, r *record.Record, out []ProbeAlt)
+}
+
+// ProbeRange fills out[i] with the runner-up of Hash(lo+i, r), using
+// the hasher's MultiProber implementation when it has one and marking
+// every position unperturbable otherwise. len(out) must be hi-lo.
+func ProbeRange(h Hasher, lo, hi int, r *record.Record, out []ProbeAlt) {
+	if mp, ok := h.(MultiProber); ok {
+		mp.ProbeAlts(lo, hi, r, out)
+		return
+	}
+	for i := range out {
+		out[i] = noAlt
+	}
+}
+
+// ProbeAlts implements MultiProber: the alternative is the other side
+// of the hyperplane, penalized by |cos| of the angle between the
+// vector and the plane's normal — |dot| / (||v|| * ||plane||), in
+// [0, 1] by Cauchy-Schwarz — so 0 means the vector sits on the plane.
+func (h *Hyperplane) ProbeAlts(lo, hi int, r *record.Record, out []ProbeAlt) {
+	v := r.Fields[h.field].(record.Vector)
+	var vnorm2 float64
+	for _, x := range v {
+		vnorm2 += x * x
+	}
+	for fn := lo; fn < hi; fn++ {
+		plane := h.planes[fn]
+		var dot, pnorm2 float64
+		for d, x := range v {
+			dot += x * plane[d]
+			pnorm2 += plane[d] * plane[d]
+		}
+		scale := math.Sqrt(vnorm2 * pnorm2)
+		penalty := 0.0
+		if scale > 0 {
+			penalty = math.Abs(dot) / scale
+		}
+		// A zero vector (or degenerate plane) has no side: coin flip,
+		// zero penalty.
+		alt := uint64(1)
+		if dot >= 0 {
+			alt = 0
+		}
+		out[fn-lo] = ProbeAlt{Alt: alt, Penalty: penalty}
+	}
+}
+
+// ProbeAlts implements MultiProber: the alternative is the
+// second-smallest element hash — a neighbor missing exactly the
+// minimum-hash element lands there — penalized by the normalized gap
+// between the two smallest hashes. Sets with fewer than two elements
+// have no runner-up.
+func (m *MinHash) ProbeAlts(lo, hi int, r *record.Record, out []ProbeAlt) {
+	s := r.Fields[m.field].(record.Set)
+	if len(s) < 2 {
+		for i := range out {
+			out[i] = noAlt
+		}
+		return
+	}
+	const inv = 1.0 / (1 << 63) / 2 // 2^-64: uint64 hash -> [0, 1)
+	seeds := m.seeds[lo:hi]
+	for i, seed := range seeds {
+		min1, min2 := ^uint64(0), ^uint64(0)
+		for _, e := range s {
+			h := xhash.SplitMix64(e ^ seed)
+			switch {
+			case h < min1:
+				min1, min2 = h, min1
+			case h < min2:
+				min2 = h
+			}
+		}
+		out[i] = ProbeAlt{Alt: min2, Penalty: float64(min2-min1) * inv}
+	}
+}
+
+// ProbeAlts implements MultiProber: sampled bits carry no margin — the
+// alternative is always the flipped bit at a flat 0.5 penalty.
+func (b *BitSample) ProbeAlts(lo, hi int, r *record.Record, out []ProbeAlt) {
+	f := r.Fields[b.field].(record.Bits)
+	for fn := lo; fn < hi; fn++ {
+		out[fn-lo] = ProbeAlt{Alt: 1 - f.Bit(b.pos[fn]), Penalty: 0.5}
+	}
+}
+
+// ProbeAlts implements MultiProber: the alternative is the adjacent
+// quantization bucket on the nearer side, penalized by the distance to
+// that bucket boundary as a fraction of the bucket width (in [0, 0.5]).
+func (p *PStable) ProbeAlts(lo, hi int, r *record.Record, out []ProbeAlt) {
+	v := r.Fields[p.field].(record.Vector)
+	for fn := lo; fn < hi; fn++ {
+		plane := p.planes[fn]
+		dot := p.offsets[fn]
+		for d, x := range v {
+			dot += x * plane[d]
+		}
+		pos := dot / p.bucket
+		bucket := math.Floor(pos)
+		frac := pos - bucket
+		alt := ProbeAlt{Alt: uint64(int64(bucket) - 1), Penalty: frac}
+		if frac >= 0.5 {
+			alt = ProbeAlt{Alt: uint64(int64(bucket) + 1), Penalty: 1 - frac}
+		}
+		out[fn-lo] = alt
+	}
+}
+
+// ProbeAlts implements MultiProber by delegating maximal runs of
+// same-pick functions to the chosen sub-hasher, exactly as HashBatch
+// partitions the range. Sub-hashers without multi-probe support leave
+// their positions unperturbable.
+func (w *WeightedMix) ProbeAlts(lo, hi int, r *record.Record, out []ProbeAlt) {
+	for fn := lo; fn < hi; {
+		pick := w.choice[fn]
+		end := fn + 1
+		for end < hi && w.choice[end] == pick {
+			end++
+		}
+		ProbeRange(w.subs[pick], fn, end, r, out[fn-lo:end-lo])
+		fn = end
+	}
+}

@@ -1,0 +1,155 @@
+package lshfamily
+
+import (
+	"math"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/record"
+)
+
+// TestProbeAltsHyperplane: the alternative is always the flipped side,
+// and a vector on the plane carries a near-zero penalty while an
+// aligned one carries a larger penalty.
+func TestProbeAltsHyperplane(t *testing.T) {
+	const n = 64
+	h := NewHyperplane(0, 2, n, 7)
+	r := vecRecord(0.6, -1.4)
+	base := make([]uint64, n)
+	alts := make([]ProbeAlt, n)
+	HashRange(h, 0, n, r, base)
+	ProbeRange(h, 0, n, r, alts)
+	for fn := 0; fn < n; fn++ {
+		if alts[fn].Alt == base[fn] {
+			t.Fatalf("fn %d: alternative %d equals base hash", fn, alts[fn].Alt)
+		}
+		if alts[fn].Alt != 1-base[fn] {
+			t.Fatalf("fn %d: alternative %d is not the flipped bit of %d", fn, alts[fn].Alt, base[fn])
+		}
+		if alts[fn].Penalty < 0 || alts[fn].Penalty > 1 || math.IsNaN(alts[fn].Penalty) {
+			t.Fatalf("fn %d: penalty %v outside [0,1]", fn, alts[fn].Penalty)
+		}
+	}
+	// The zero vector sits on every plane: penalty must be 0 everywhere.
+	zero := vecRecord(0, 0)
+	ProbeRange(h, 0, n, zero, alts)
+	for fn := 0; fn < n; fn++ {
+		if alts[fn].Penalty != 0 {
+			t.Fatalf("zero vector fn %d: penalty %v, want 0", fn, alts[fn].Penalty)
+		}
+	}
+}
+
+// TestProbeAltsMinHash: the alternative is the second minimum — the
+// base hash of the same set with its minimizing element removed — and
+// tiny sets have no alternative.
+func TestProbeAltsMinHash(t *testing.T) {
+	const n = 32
+	m := NewMinHash(0, n, 5)
+	full := setRecord(1, 2, 3, 4, 5, 6, 7, 8)
+	base := make([]uint64, n)
+	alts := make([]ProbeAlt, n)
+	HashRange(m, 0, n, full, base)
+	ProbeRange(m, 0, n, full, alts)
+	for fn := 0; fn < n; fn++ {
+		if alts[fn].Alt <= base[fn] {
+			t.Fatalf("fn %d: second minimum %d not greater than minimum %d", fn, alts[fn].Alt, base[fn])
+		}
+		// Removing the minimizing element must shift the hash to Alt.
+		var reduced []uint64
+		for _, e := range full.Fields[0].(record.Set) {
+			if m.Hash(fn, setRecord(e)) != base[fn] {
+				reduced = append(reduced, e)
+			}
+		}
+		if got := m.Hash(fn, setRecord(reduced...)); got != alts[fn].Alt {
+			t.Fatalf("fn %d: hash without minimizer %d, want alt %d", fn, got, alts[fn].Alt)
+		}
+		if alts[fn].Penalty < 0 || alts[fn].Penalty >= 1 {
+			t.Fatalf("fn %d: penalty %v outside [0,1)", fn, alts[fn].Penalty)
+		}
+	}
+	for _, small := range []*record.Record{setRecord(), setRecord(42)} {
+		ProbeRange(m, 0, n, small, alts)
+		for fn := 0; fn < n; fn++ {
+			if !math.IsInf(alts[fn].Penalty, 1) {
+				t.Fatalf("set of %d elements: fn %d penalty %v, want +Inf", small.Fields[0].Len(), fn, alts[fn].Penalty)
+			}
+		}
+	}
+}
+
+// TestProbeAltsBitSampleAndPStable: bit sampling flips the bit at a
+// flat penalty; p-stable proposes an adjacent bucket with a penalty no
+// larger than half a bucket width.
+func TestProbeAltsBitSampleAndPStable(t *testing.T) {
+	const n = 48
+	b := NewBitSample(0, 16, n, 3)
+	r := bitsRecord(16, 0, 2, 6, 7, 8, 9, 12, 13, 15)
+	base := make([]uint64, n)
+	alts := make([]ProbeAlt, n)
+	HashRange(b, 0, n, r, base)
+	ProbeRange(b, 0, n, r, alts)
+	for fn := 0; fn < n; fn++ {
+		if alts[fn].Alt != 1-base[fn] || alts[fn].Penalty != 0.5 {
+			t.Fatalf("bitsample fn %d: alt %d penalty %v, want flipped bit at 0.5", fn, alts[fn].Alt, alts[fn].Penalty)
+		}
+	}
+
+	p := NewPStable(0, 3, n, 2.0, 0.5, 11)
+	v := vecRecord(0.4, -1.1, 0.9)
+	HashRange(p, 0, n, v, base)
+	ProbeRange(p, 0, n, v, alts)
+	for fn := 0; fn < n; fn++ {
+		lo, hi := base[fn]-1, base[fn]+1
+		if alts[fn].Alt != lo && alts[fn].Alt != hi {
+			t.Fatalf("pstable fn %d: alt %d is not adjacent to bucket %d", fn, alts[fn].Alt, base[fn])
+		}
+		if alts[fn].Penalty < 0 || alts[fn].Penalty > 0.5 {
+			t.Fatalf("pstable fn %d: penalty %v outside [0,0.5]", fn, alts[fn].Penalty)
+		}
+	}
+}
+
+// TestProbeAltsWeightedMix: the mix delegates per choice run, so every
+// position matches the chosen sub-hasher's own answer, and ProbeRange
+// falls back to unperturbable positions for plain hashers.
+func TestProbeAltsWeightedMix(t *testing.T) {
+	const n = 40
+	subs := []Hasher{NewMinHash(0, n, 1), NewMinHash(1, n, 2)}
+	mix := NewWeightedMix(subs, []float64{0.5, 0.5}, n, 3)
+	r := &record.Record{Fields: []record.Field{
+		record.NewSet([]uint64{1, 2, 3, 4}),
+		record.NewSet([]uint64{10, 11, 12}),
+	}}
+	got := make([]ProbeAlt, n)
+	ProbeRange(mix, 0, n, r, got)
+	want := make([]ProbeAlt, n)
+	for fn := 0; fn < n; fn++ {
+		one := make([]ProbeAlt, 1)
+		ProbeRange(subs[mix.choice[fn]], fn, fn+1, r, one)
+		want[fn] = one[0]
+	}
+	for fn := 0; fn < n; fn++ {
+		if got[fn] != want[fn] {
+			t.Fatalf("fn %d: mix alt %+v, sub alt %+v", fn, got[fn], want[fn])
+		}
+	}
+
+	// A hasher without MultiProber support yields unperturbable slots.
+	plain := plainHasher{NewMinHash(0, n, 9)}
+	ProbeRange(plain, 0, n, r, got)
+	for fn := 0; fn < n; fn++ {
+		if !math.IsInf(got[fn].Penalty, 1) {
+			t.Fatalf("plain hasher fn %d: penalty %v, want +Inf", fn, got[fn].Penalty)
+		}
+	}
+}
+
+// plainHasher hides the MultiProber implementation of its embedded
+// hasher behind a Hasher-only wrapper.
+type plainHasher struct{ h Hasher }
+
+func (p plainHasher) Hash(fn int, r *record.Record) uint64 { return p.h.Hash(fn, r) }
+func (p plainHasher) P(x float64) float64                  { return p.h.P(x) }
+func (p plainHasher) MaxFunctions() int                    { return p.h.MaxFunctions() }
+func (p plainHasher) Name() string                         { return "plain(" + p.h.Name() + ")" }

@@ -43,12 +43,16 @@ const (
 	// StageStream spans one streaming top-k query (core.Stream),
 	// including any lazy plan (re-)design.
 	StageStream
+	// StageQuery spans one online point query (core.QueryIndex.Query /
+	// core.Stream.Query): multi-probe bucket lookups plus prepared-
+	// kernel verification, never a full filtering pass.
+	StageQuery
 
 	numStages
 )
 
 var stageNames = [numStages]string{
-	"filter", "hash", "pairwise", "recovery", "blocking", "stream",
+	"filter", "hash", "pairwise", "recovery", "blocking", "stream", "query",
 }
 
 // String returns the stable snake_case stage name used by the JSONL
@@ -110,6 +114,12 @@ const (
 	// match kernels abandoned before the last element, once the
 	// remaining elements could no longer change the decision.
 	CtrKernelEarlyExits
+	// CtrQueryProbes counts bucket-key lookups performed by online
+	// point queries (tables x probe keys, summed over queries).
+	CtrQueryProbes
+	// CtrQueryCandidates counts distinct candidate records pulled out
+	// of probed buckets by online point queries.
+	CtrQueryCandidates
 
 	numCounters
 )
@@ -119,6 +129,7 @@ var counterNames = [numCounters]string{
 	"pair_comparisons", "merges", "rehash_rounds", "clusters_emitted",
 	"records_recovered", "replans",
 	"kernel_prefilter_rejects", "kernel_early_exits",
+	"query_probes", "query_candidates",
 }
 
 // String returns the stable snake_case counter name used by the JSONL
@@ -216,6 +227,11 @@ type Span struct {
 	Mem MemStats
 	// MemSampled reports whether Mem was measured.
 	MemSampled bool
+	// Errored marks a span whose stage terminated with an error. Spans
+	// are reported on error paths too — sinks that pair span starts
+	// with ends (JSONL consumers) stay balanced — with this marker set
+	// so failed stages are distinguishable from successful ones.
+	Errored bool
 }
 
 // Sink receives completed spans and counter deltas. Implementations

@@ -109,6 +109,7 @@ type jsonlEvent struct {
 	Workers int    `json:"workers,omitempty"`
 	Waves   int    `json:"waves,omitempty"`
 	Items   int    `json:"items,omitempty"`
+	Error   bool   `json:"error,omitempty"`   // errored span events
 	Counter string `json:"counter,omitempty"` // count events
 	Delta   int64  `json:"delta,omitempty"`
 	// Memory-sampled span events only (Span.MemSampled).
@@ -152,6 +153,7 @@ func (j *JSONL) Span(s Span) {
 		Type: "span", Stage: s.Stage.String(),
 		WallUS: s.Wall.Microseconds(), WorkUS: s.Work.Microseconds(),
 		Workers: s.Workers, Waves: s.Waves, Items: s.Items,
+		Error: s.Errored,
 	}
 	if s.MemSampled {
 		ev.AllocBytes, ev.Mallocs, ev.GCPauseNS = s.Mem.AllocBytes, s.Mem.Mallocs, s.Mem.GCPauseNS
