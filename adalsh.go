@@ -36,6 +36,7 @@ import (
 	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/planio"
 	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/snapio"
 )
 
 // Dataset is a collection of records with optional ground truth. Use
@@ -358,6 +359,33 @@ type Stream = core.Stream
 func NewStream(rule Rule, cfg SequenceConfig) *Stream {
 	return core.NewStream(rule, cfg)
 }
+
+// Save snapshots a live stream — records, designed plan with its
+// calibrated cost model, and every cached hash signature — into a
+// versioned binary format. A session restored with Restore continues
+// exactly where the saved one stopped: continued queries return
+// byte-identical clusters and work counters to a never-interrupted
+// run, and already-hashed records are never re-hashed. The write is
+// not atomic by itself; to checkpoint to a file, prefer
+// Stream.SetCheckpointEvery with a write-to-temp-then-rename helper
+// so a crash mid-save cannot corrupt the previous checkpoint.
+func Save(w io.Writer, s *Stream) error { return snapio.Snapshot(w, s) }
+
+// Restore rebuilds a stream from a snapshot written by Save. Truncated
+// or corrupted snapshots are rejected (the format carries a checksum),
+// as are snapshots from builds with an incompatible format version.
+// Runtime tuning (SetWorkers, SetObs, ...) is process-local and must
+// be re-applied; the memory layout travels with the snapshot.
+func Restore(r io.Reader) (*Stream, error) { return snapio.Restore(r) }
+
+// SaveFile snapshots a stream to a file crash-safely: the bytes go to
+// a temp file in the target directory and are atomically renamed over
+// path, so a crash mid-save leaves any previous snapshot at that path
+// intact. This is the natural Stream.SetCheckpointEvery hook.
+func SaveFile(path string, s *Stream) error { return snapio.SaveFile(path, s) }
+
+// LoadFile restores a stream from a file written by SaveFile (or Save).
+func LoadFile(path string) (*Stream, error) { return snapio.LoadFile(path) }
 
 // QueryIndex is the point-lookup index a TopK/TopKClusters run
 // captures: the round-one bucket state of the filter plus the final

@@ -8,6 +8,9 @@
 //	       [-seed 42] [-json]
 //	adalsh -input data.json -rule '...' -k 10 -query 5,17 [-query-m 3]
 //	       [-query-probes 2]   # online point lookups after one build
+//	adalsh -input data.json -rule '...' -k 10 -save-state s.snap
+//	adalsh -load-state s.snap -k 10 [-input more.json]
+//	       # warm restart: reuse the saved plan and hash cache
 //
 // The dataset format is documented in internal/dsio. The rule language
 // (internal/rulespec):
@@ -35,6 +38,7 @@ import (
 	"github.com/topk-er/adalsh/internal/metrics"
 	"github.com/topk-er/adalsh/internal/profiling"
 	"github.com/topk-er/adalsh/internal/rulespec"
+	"github.com/topk-er/adalsh/internal/snapio"
 )
 
 func main() {
@@ -57,14 +61,19 @@ func main() {
 	memprofPath := flag.String("memprofile", "", "write an allocation (heap) profile of the run to this file (inspect with go tool pprof -sample_index=alloc_objects)")
 	legacyMem := flag.Bool("legacy-mem", false, "use the legacy memory layouts (slice-backed hash cache, map bucket tables); output is identical — for A/B benchmarking")
 	statsJSON := flag.String("stats-json", "", "stream per-stage spans and work counters as JSON lines to this file (- for stderr)")
+	saveState := flag.String("save-state", "", "snapshot the stream session (records, plan, hash cache) to this file after the run (-method ada; atomic write)")
+	loadState := flag.String("load-state", "", "warm-restart from a -save-state snapshot instead of hashing from scratch (-method ada; -input and -rule become optional; an -input larger than the snapshot appends its tail records)")
 	queryRecs := flag.String("query", "", "comma-separated record indices to point-query after one top-k build (online Stream.Query mode; -method ada only)")
 	queryM := flag.Int("query-m", 3, "candidate clusters to return per -query lookup")
 	queryProbes := flag.Int("query-probes", 0, "multi-probe keys per table for -query (0 = default)")
 	flag.Parse()
 
-	if *input == "" || *ruleStr == "" {
+	if (*input == "" || *ruleStr == "") && *loadState == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if (*saveState != "" || *loadState != "") && *method != "ada" {
+		log.Fatalf("-save-state/-load-state require -method ada (got %q)", *method)
 	}
 	stopProf, err := profiling.Start(*pprofPath, *tracePath, *memprofPath)
 	if err != nil {
@@ -75,22 +84,26 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
-	in := os.Stdin
-	if *input != "-" {
-		f, err := os.Open(*input)
-		if err != nil {
+	var ds *adalsh.Dataset
+	if *input != "" {
+		in := os.Stdin
+		if *input != "-" {
+			f, err := os.Open(*input)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			in = f
+		}
+		if ds, err = dsio.Read(in); err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		in = f
 	}
-	ds, err := dsio.Read(in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	rule, err := rulespec.Parse(*ruleStr)
-	if err != nil {
-		log.Fatal(err)
+	var rule adalsh.Rule
+	if *ruleStr != "" {
+		if rule, err = rulespec.Parse(*ruleStr); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	cfg := adalsh.Config{
@@ -124,7 +137,7 @@ func main() {
 		if *method != "ada" {
 			log.Fatalf("-query requires -method ada (got %q)", *method)
 		}
-		if err := runQueries(ds, rule, cfg, *queryRecs, *queryM, *queryProbes, *asJSON); err != nil {
+		if err := runQueries(ds, rule, cfg, *queryRecs, *queryM, *queryProbes, *asJSON, *loadState, *saveState); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -132,6 +145,23 @@ func main() {
 	var res *adalsh.Result
 	switch *method {
 	case "ada":
+		if *saveState != "" || *loadState != "" {
+			// Stream mode: the session (records, plan, hash cache) can
+			// be snapshotted after the run and warm-restarted later.
+			var st *adalsh.Stream
+			if st, ds, err = buildStream(ds, rule, cfg, *loadState); err != nil {
+				log.Fatal(err)
+			}
+			if res, err = st.TopKClusters(cfg.K, cfg.ReturnClusters); err != nil {
+				log.Fatal(err)
+			}
+			if *saveState != "" {
+				if err = snapio.SaveFile(*saveState, st); err != nil {
+					log.Fatal(err)
+				}
+			}
+			break
+		}
 		var plan *adalsh.Plan
 		if *planIn != "" {
 			f, err := os.Open(*planIn)
@@ -236,10 +266,55 @@ func main() {
 	}
 }
 
+// buildStream assembles the session for the stream modes (-query,
+// -save-state, -load-state): a fresh stream fed from the dataset, or a
+// warm restart from a snapshot. On a warm restart an -input larger
+// than the snapshot contributes its tail records; the returned dataset
+// is the stream's own (so reports and -query indices cover everything
+// restored). Runtime knobs are process-local and re-applied here.
+func buildStream(ds *adalsh.Dataset, rule adalsh.Rule, cfg adalsh.Config, loadState string) (*adalsh.Stream, *adalsh.Dataset, error) {
+	var st *adalsh.Stream
+	if loadState != "" {
+		var err error
+		if st, err = snapio.LoadFile(loadState); err != nil {
+			return nil, nil, err
+		}
+		if ds != nil {
+			if ds.Len() < st.Len() {
+				return nil, nil, fmt.Errorf("-load-state: snapshot holds %d records but -input only %d; pass the original input (or none)", st.Len(), ds.Len())
+			}
+			for i := st.Len(); i < ds.Len(); i++ {
+				st.AddWithTruth(truthOf(ds, i), ds.Records[i].Fields...)
+			}
+		}
+	} else {
+		st = adalsh.NewStream(rule, cfg.Sequence)
+		st.Dataset().Name = ds.Name
+		for i := range ds.Records {
+			st.AddWithTruth(truthOf(ds, i), ds.Records[i].Fields...)
+		}
+	}
+	st.SetWorkers(cfg.Workers, cfg.HashShards)
+	st.SetObs(cfg.Obs)
+	return st, st.Dataset(), nil
+}
+
+func truthOf(ds *adalsh.Dataset, i int) int {
+	if i < len(ds.Truth) {
+		return ds.Truth[i]
+	}
+	return -1
+}
+
 // runQueries is the -query mode: one top-k build through a Stream
 // (which captures the point-query index), then an online Query per
 // requested record — no re-clustering between lookups.
-func runQueries(ds *adalsh.Dataset, rule adalsh.Rule, cfg adalsh.Config, recsArg string, m, probes int, asJSON bool) error {
+func runQueries(ds *adalsh.Dataset, rule adalsh.Rule, cfg adalsh.Config, recsArg string, m, probes int, asJSON bool, loadState, saveState string) error {
+	st, ds, err := buildStream(ds, rule, cfg, loadState)
+	if err != nil {
+		return err
+	}
+	st.SetQueryProbes(probes)
 	var ids []int
 	for _, tok := range strings.Split(recsArg, ",") {
 		id, err := strconv.Atoi(strings.TrimSpace(tok))
@@ -251,18 +326,16 @@ func runQueries(ds *adalsh.Dataset, rule adalsh.Rule, cfg adalsh.Config, recsArg
 		}
 		ids = append(ids, id)
 	}
-	st := adalsh.NewStream(rule, cfg.Sequence)
-	st.SetWorkers(cfg.Workers, cfg.HashShards)
-	st.SetObs(cfg.Obs)
-	st.SetQueryProbes(probes)
-	for i := range ds.Records {
-		st.Add(ds.Records[i].Fields...)
-	}
 	buildStart := time.Now()
 	if _, err := st.TopKClusters(cfg.K, cfg.ReturnClusters); err != nil {
 		return err
 	}
 	buildMS := time.Since(buildStart).Seconds() * 1000
+	if saveState != "" {
+		if err := snapio.SaveFile(saveState, st); err != nil {
+			return err
+		}
+	}
 
 	type match struct {
 		Cluster    int     `json:"cluster"`

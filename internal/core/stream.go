@@ -42,7 +42,22 @@ type Stream struct {
 	pool    *HashPool
 	workers int
 	shards  int
+	hashMin int
 	sink    obs.Sink
+
+	// layout/mapTables are the memory-layout knobs (SetMemLayout):
+	// layout selects the signature-cache layout of caches the stream
+	// creates, mapTables the bucket-table implementation of its filter
+	// runs. Both persist across snapshot/restore.
+	layout    CacheLayout
+	mapTables bool
+
+	// ckptEvery/ckptFn/ckptAt drive the periodic checkpoint hook
+	// (SetCheckpointEvery): after a successful TopKClusters, fn runs
+	// when at least ckptEvery records arrived since the last checkpoint.
+	ckptEvery int
+	ckptFn    func(*Stream) error
+	ckptAt    int
 
 	// replanGrowth is the growth factor that triggers a re-design (0
 	// means defaultReplanGrowth; +Inf disables re-planning).
@@ -99,10 +114,52 @@ func (s *Stream) SetWorkers(workers, hashShards int) {
 	s.shards = hashShards
 }
 
+// SetHashMinParallel sets the cluster-size floor below which hashing
+// rounds stay serial (Options.HashMinParallel semantics: 0 keeps the
+// built-in production floor). Results are identical for every value —
+// the knob exists for tuning and for exercising the parallel hash path
+// on small datasets in tests.
+func (s *Stream) SetHashMinParallel(n int) { s.hashMin = n }
+
+// SetMemLayout selects the memory layouts of subsequent queries:
+// the signature-cache layout (CacheArena, the default, or the legacy
+// CacheSlices) and whether hashing rounds bucket into Go maps instead
+// of the default pooled open-addressing tables. Results, statistics
+// and counters are identical for every combination. The signature
+// cache is created at plan-design time, so call this before the first
+// TopK — later calls affect only caches created by future re-designs.
+// Both knobs persist across snapshot/restore.
+func (s *Stream) SetMemLayout(layout CacheLayout, mapTables bool) {
+	s.layout = layout
+	s.mapTables = mapTables
+}
+
 // SetObs attaches an observability sink: each query is reported as a
 // StageStream span wrapping the filter run's own spans and counters,
 // and plan re-designs bump the replans counter. A nil sink detaches.
 func (s *Stream) SetObs(sink obs.Sink) { s.sink = sink }
+
+// Obs reports the stream's observability sink (nil when detached);
+// snapshot codecs use it to report save/restore spans on the stream's
+// own sink.
+func (s *Stream) Obs() obs.Sink { return s.sink }
+
+// SetCheckpointEvery registers a periodic checkpoint hook: after every
+// successful TopKClusters, fn runs when at least every records were
+// added since the last checkpoint (or since the stream started). A
+// typical fn snapshots the stream to durable storage (e.g.
+// snapio.SaveFile). When fn fails, TopKClusters returns the query's
+// result together with the wrapped checkpoint error — the computation
+// succeeded; only its persistence did not. every < 1 or a nil fn
+// disables the hook.
+func (s *Stream) SetCheckpointEvery(every int, fn func(*Stream) error) {
+	if every < 1 || fn == nil {
+		s.ckptEvery, s.ckptFn = 0, nil
+		return
+	}
+	s.ckptEvery, s.ckptFn = every, fn
+	s.ckptAt = 0
+}
 
 // SetReplanGrowth sets the dataset growth factor past which a query
 // re-designs the plan. The accepted range is (1, +Inf]: pass
@@ -173,7 +230,8 @@ func (s *Stream) TopKClusters(k, returnClusters int) (*Result, error) {
 	s.qix.Release(s.pool)
 	res, err := Filter(s.ds, s.plan, Options{
 		K: k, ReturnClusters: returnClusters, Cache: s.cache, HashPool: s.pool,
-		Workers: s.workers, HashShards: s.shards, Obs: s.sink,
+		Workers: s.workers, HashShards: s.shards, HashMinParallel: s.hashMin,
+		HashMapTables: s.mapTables, Obs: s.sink,
 		Capture: s.qix,
 	})
 	if err != nil {
@@ -186,6 +244,12 @@ func (s *Stream) TopKClusters(k, returnClusters int) (*Result, error) {
 	qt.Workers = res.Stats.Workers
 	qt.Items = s.ds.Len()
 	qt.End()
+	if s.ckptFn != nil && s.ds.Len()-s.ckptAt >= s.ckptEvery {
+		if err := s.ckptFn(s); err != nil {
+			return res, fmt.Errorf("core: stream checkpoint at %d records: %w", s.ds.Len(), err)
+		}
+		s.ckptAt = s.ds.Len()
+	}
 	return res, nil
 }
 
@@ -275,7 +339,7 @@ func (s *Stream) ensurePlan() error {
 	}
 	switch {
 	case s.plan == nil:
-		s.cache = NewCache(s.ds, len(plan.Hashers))
+		s.cache = NewCacheLayout(s.ds, len(plan.Hashers), s.layout)
 	case reflect.DeepEqual(s.plan.HasherDescs, plan.HasherDescs):
 		// Same hashers — the long-lived cache stays valid; only the
 		// budgets/schemes and the re-calibrated cost model changed.
@@ -285,7 +349,7 @@ func (s *Stream) ensurePlan() error {
 		// The hasher set itself changed (e.g. a different rule-driven
 		// descriptor after growth); cached values are for the old
 		// functions and must be dropped.
-		s.cache = NewCache(s.ds, len(plan.Hashers))
+		s.cache = NewCacheLayout(s.ds, len(plan.Hashers), s.layout)
 		s.replans++
 		obs.Count(s.sink, obs.CtrReplans, 1)
 	}

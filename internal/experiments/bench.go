@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"time"
@@ -11,6 +13,7 @@ import (
 	"github.com/topk-er/adalsh/internal/core"
 	"github.com/topk-er/adalsh/internal/datasets"
 	"github.com/topk-er/adalsh/internal/obs"
+	"github.com/topk-er/adalsh/internal/snapio"
 )
 
 // StageBench is one stage's aggregate in a BenchReport: wall and
@@ -76,6 +79,75 @@ type BenchReport struct {
 	// Query benchmarks the online point-query path against the same
 	// dataset: one captured index, then one lookup per sampled record.
 	Query QueryBench `json:"query"`
+	// Restore benchmarks the warm-restart path: snapshot a finished
+	// streaming session, restore it, and re-answer the query from the
+	// restored signature cache.
+	Restore RestoreBench `json:"restore"`
+}
+
+// RestoreBench summarizes the snapshot/restore path (snapio) for one
+// dataset: encoded size, save/load latency, and the cold-vs-warm query
+// cost. WarmHashEvals is contractually 0 — a restored session answers
+// the same query entirely from its persisted signature cache.
+type RestoreBench struct {
+	// SnapshotBytes is the encoded snapshot size.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// SaveMS / RestoreMS are the wall-clock encode and decode times.
+	SaveMS    float64 `json:"save_ms"`
+	RestoreMS float64 `json:"restore_ms"`
+	// ColdMS is the first TopK on a fresh stream (plan design, cost
+	// calibration and every hash evaluation included); WarmMS is the
+	// same TopK re-answered by the restored session.
+	ColdMS      float64 `json:"cold_ms"`
+	WarmMS      float64 `json:"warm_ms"`
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// WarmHashEvals counts base hash evaluations during the warm
+	// query (obs hash_evals); anything above 0 means the restored
+	// cache failed to serve a signature.
+	WarmHashEvals int64 `json:"warm_hash_evals"`
+}
+
+// benchRestore runs the warm-restart benchmark: feed the dataset into
+// a stream, answer TopK cold, snapshot, restore, answer again warm.
+func benchRestore(b *datasets.Benchmark, k int) (RestoreBench, error) {
+	var rb RestoreBench
+	s := core.NewStream(b.Rule, core.SequenceConfig{})
+	s.SetReplanGrowth(math.Inf(1))
+	for i := range b.Dataset.Records {
+		s.AddWithTruth(b.Dataset.Truth[i], b.Dataset.Records[i].Fields...)
+	}
+	start := time.Now()
+	if _, err := s.TopK(k); err != nil {
+		return rb, err
+	}
+	rb.ColdMS = time.Since(start).Seconds() * 1000
+
+	var buf bytes.Buffer
+	start = time.Now()
+	if err := snapio.Snapshot(&buf, s); err != nil {
+		return rb, err
+	}
+	rb.SaveMS = time.Since(start).Seconds() * 1000
+	rb.SnapshotBytes = int64(buf.Len())
+
+	col := obs.NewCollector()
+	start = time.Now()
+	r, err := snapio.RestoreWithObs(bytes.NewReader(buf.Bytes()), col)
+	if err != nil {
+		return rb, err
+	}
+	rb.RestoreMS = time.Since(start).Seconds() * 1000
+
+	start = time.Now()
+	if _, err := r.TopK(k); err != nil {
+		return rb, err
+	}
+	rb.WarmMS = time.Since(start).Seconds() * 1000
+	rb.WarmHashEvals = col.Counter(obs.CtrHashEvals)
+	if rb.WarmMS > 0 {
+		rb.WarmSpeedup = rb.ColdMS / rb.WarmMS
+	}
+	return rb, nil
 }
 
 // QueryBench summarizes the online point-query path (Stream.Query /
@@ -217,6 +289,9 @@ func Bench(p *Provider, name string, b *datasets.Benchmark, k, workers, hashShar
 		rep.SpeedupVsSerial = rep.Serial.ElapsedMS / rep.Parallel.ElapsedMS
 	}
 	if rep.Query, err = benchQuery(b, plan, k); err != nil {
+		return nil, err
+	}
+	if rep.Restore, err = benchRestore(b, k); err != nil {
 		return nil, err
 	}
 	return rep, nil

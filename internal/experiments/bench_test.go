@@ -29,6 +29,12 @@ func TestBenchReportDeterministicCounters(t *testing.T) {
 	if len(rep.Serial.Stages) == 0 {
 		t.Fatal("serial run recorded no stage spans")
 	}
+	if rep.Restore.SnapshotBytes == 0 || rep.Restore.ColdMS == 0 || rep.Restore.WarmMS == 0 {
+		t.Fatalf("empty restore accounting: %+v", rep.Restore)
+	}
+	if rep.Restore.WarmHashEvals != 0 {
+		t.Fatalf("warm re-query evaluated %d base hashes, want 0", rep.Restore.WarmHashEvals)
+	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatal(err)

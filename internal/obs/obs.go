@@ -47,12 +47,18 @@ const (
 	// core.Stream.Query): multi-probe bucket lookups plus prepared-
 	// kernel verification, never a full filtering pass.
 	StageQuery
+	// StageSnapshot spans one stream state save or restore
+	// (internal/snapio): Items is the record count, and the
+	// CtrSnapshotBytes / CtrRestoreBytes counters carry the encoded
+	// size.
+	StageSnapshot
 
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"filter", "hash", "pairwise", "recovery", "blocking", "stream", "query",
+	"snapshot",
 }
 
 // String returns the stable snake_case stage name used by the JSONL
@@ -120,6 +126,12 @@ const (
 	// CtrQueryCandidates counts distinct candidate records pulled out
 	// of probed buckets by online point queries.
 	CtrQueryCandidates
+	// CtrSnapshotBytes counts bytes written by stream state snapshots
+	// (internal/snapio.Snapshot).
+	CtrSnapshotBytes
+	// CtrRestoreBytes counts bytes read by stream state restores
+	// (internal/snapio.Restore).
+	CtrRestoreBytes
 
 	numCounters
 )
@@ -130,6 +142,7 @@ var counterNames = [numCounters]string{
 	"records_recovered", "replans",
 	"kernel_prefilter_rejects", "kernel_early_exits",
 	"query_probes", "query_candidates",
+	"snapshot_bytes", "restore_bytes",
 }
 
 // String returns the stable snake_case counter name used by the JSONL

@@ -1,0 +1,36 @@
+package planio_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/planio"
+)
+
+// FuzzPlanioDecode throws mutated plan JSON at the loader: anything
+// may be rejected, nothing may panic, and lying max_funcs/dim fields
+// may not force huge eager hasher pre-generation (the decode sanity
+// caps bound it). Inputs that do decode must re-encode cleanly.
+func FuzzPlanioDecode(f *testing.F) {
+	var buf bytes.Buffer
+	if err := planio.Write(&buf, goldenPlan(f)); err != nil {
+		f.Fatal(err)
+	}
+	blob := buf.Bytes()
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte(`{"version": 99}`))
+	f.Add([]byte(`{"version": 1, "rule": "jaccard@0 <= 0.5", "hashers": [{"kind":"minhash","field":0,"max_funcs":99999999,"seed":1}], "cost_func": [1]}`))
+	f.Add([]byte(`{"version": 1, "rule": "jaccard@0 <= 0.5", "hashers": [{"kind":"hyperplane","field":0,"dim":1048575,"max_funcs":1048575,"seed":1}], "cost_func": [1]}`))
+	f.Add([]byte("not json"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		plan, err := planio.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := planio.Write(&out, plan); err != nil {
+			t.Fatalf("decoded plan does not re-encode: %v", err)
+		}
+	})
+}

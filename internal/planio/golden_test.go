@@ -1,0 +1,99 @@
+package planio_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/lshfamily"
+	"github.com/topk-er/adalsh/internal/planio"
+)
+
+// goldenPlan is a hand-built plan — no wall-clock calibration, so its
+// JSON encoding is fully deterministic across runs and machines.
+func goldenPlan(t testing.TB) *core.Plan {
+	t.Helper()
+	desc := lshfamily.Desc{Kind: lshfamily.KindMinHash, Field: 0, MaxFuncs: 40, Seed: 7}
+	h, err := desc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &core.Plan{
+		Rule:        distance.Threshold{Field: 0, Metric: distance.Jaccard{}, MaxDistance: 0.5},
+		Hashers:     []lshfamily.Hasher{h},
+		HasherDescs: []lshfamily.Desc{desc},
+		Funcs: []*core.HashFunc{
+			{Seq: 1, Budget: 20, Label: "(w=10,z=2)", FuncsPerHasher: []int{20}, Tables: []core.Table{
+				{Parts: []core.TablePart{{Hasher: 0, Start: 0, Count: 10}}},
+				{Parts: []core.TablePart{{Hasher: 0, Start: 10, Count: 10}}},
+			}},
+			{Seq: 2, Budget: 40, Label: "(w=10,z=4)", FuncsPerHasher: []int{40}, Tables: []core.Table{
+				{Parts: []core.TablePart{{Hasher: 0, Start: 0, Count: 10}}},
+				{Parts: []core.TablePart{{Hasher: 0, Start: 10, Count: 10}}},
+				{Parts: []core.TablePart{{Hasher: 0, Start: 20, Count: 10}}},
+				{Parts: []core.TablePart{{Hasher: 0, Start: 30, Count: 10}}},
+			}},
+		},
+		Cost: core.CostModel{CostP: 2.5, CostFunc: []float64{0.25}},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestGoldenV1 pins the v1 JSON bytes of the canonical plan.
+// Regenerate with UPDATE_GOLDEN=1 go test — but only after bumping
+// formatVersion if the change alters the format.
+func TestGoldenV1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := planio.Write(&buf, goldenPlan(t)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "plan_v1.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("planio v1 encoding drifted from the golden fixture (%d bytes, want %d).\n"+
+			"If the format change is intentional, bump formatVersion and regenerate the fixture with UPDATE_GOLDEN=1.",
+			buf.Len(), len(want))
+	}
+
+	// The fixture decodes to a plan that re-encodes to itself.
+	loaded, err := planio.Read(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := planio.Write(&again, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Fatal("golden fixture does not re-encode to itself (non-canonical decode)")
+	}
+}
+
+// TestVersionMismatchMessage pins the error text so operators see both
+// the file's version and the build's version.
+func TestVersionMismatchMessage(t *testing.T) {
+	_, err := planio.Read(strings.NewReader(`{"version": 99}`))
+	if err == nil {
+		t.Fatal("Read accepted a version-99 plan")
+	}
+	want := fmt.Sprintf("planio: plan format version %d, this build reads %d", 99, 1)
+	if err.Error() != want {
+		t.Fatalf("version mismatch error = %q, want %q", err, want)
+	}
+}

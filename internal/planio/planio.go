@@ -19,6 +19,57 @@ import (
 // releases.
 const formatVersion = 1
 
+// Decode sanity caps. Desc.Build pre-generates every base function
+// eagerly (a hyperplane desc allocates max_funcs x dim floats), so a
+// corrupt or hostile plan file could demand gigabytes before any
+// validation runs. The caps bound the pre-generation work a single
+// loaded plan may request — far above anything the designer emits
+// (budgets top out around 2560 functions) and far below harm.
+const (
+	// maxSaneHashers bounds the hasher count of a loaded plan.
+	maxSaneHashers = 1 << 10
+	// maxSaneFuncs bounds one desc's max_funcs.
+	maxSaneFuncs = 1 << 20
+	// maxSaneDim bounds vector dimensions and fingerprint widths.
+	maxSaneDim = 1 << 20
+	// maxSaneWords bounds the total pre-generated words across the
+	// plan's descs (sum of max_funcs x max(dim, 1)).
+	maxSaneWords = 1 << 23
+)
+
+// saneDesc rejects descriptors whose eager pre-generation would be
+// absurdly large, accumulating the plan-wide word budget.
+func saneDesc(d lshfamily.Desc, budget *int64) error {
+	if d.MaxFuncs > maxSaneFuncs {
+		return fmt.Errorf("planio: desc %q max_funcs %d exceeds sanity cap %d (corrupt plan?)",
+			d.Kind, d.MaxFuncs, maxSaneFuncs)
+	}
+	if d.Dim > maxSaneDim || d.Width > maxSaneDim {
+		return fmt.Errorf("planio: desc %q dim/width %d/%d exceeds sanity cap %d (corrupt plan?)",
+			d.Kind, d.Dim, d.Width, maxSaneDim)
+	}
+	if len(d.Subs) > maxSaneHashers {
+		return fmt.Errorf("planio: desc %q has %d sub-descs, sanity cap is %d (corrupt plan?)",
+			d.Kind, len(d.Subs), maxSaneHashers)
+	}
+	per := int64(1)
+	if d.Dim > 1 {
+		per = int64(d.Dim)
+	}
+	if d.MaxFuncs > 0 {
+		*budget += int64(d.MaxFuncs) * per
+	}
+	if *budget > maxSaneWords {
+		return fmt.Errorf("planio: plan pre-generates over %d words of hash functions (corrupt plan?)", int64(maxSaneWords))
+	}
+	for _, sub := range d.Subs {
+		if err := saneDesc(sub, budget); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 type jsonPart struct {
 	Hasher int `json:"hasher"`
 	Start  int `json:"start"`
@@ -94,6 +145,16 @@ func Read(r io.Reader) (*core.Plan, error) {
 	}
 	if len(in.CostFunc) != len(in.Hashers) {
 		return nil, fmt.Errorf("planio: %d cost entries for %d hashers", len(in.CostFunc), len(in.Hashers))
+	}
+	if len(in.Hashers) > maxSaneHashers {
+		return nil, fmt.Errorf("planio: plan has %d hashers, sanity cap is %d (corrupt plan?)",
+			len(in.Hashers), maxSaneHashers)
+	}
+	var budget int64
+	for _, d := range in.Hashers {
+		if err := saneDesc(d, &budget); err != nil {
+			return nil, err
+		}
 	}
 	plan := &core.Plan{
 		Rule:        rule,

@@ -1,0 +1,37 @@
+package snapio_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/snapio"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// BenchmarkSnapshotRestore measures one full save+load cycle of a warm
+// 4k-record session, the cost a periodic checkpoint adds to a stream.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	s := core.NewStream(jacRule(), core.SequenceConfig{Seed: 101, Levels: 4})
+	s.SetReplanGrowth(1e18)
+	addEntities(s, xhash.NewRNG(101), 1000, 4, 12)
+	if _, err := s.TopK(5); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snapio.Snapshot(&buf, s); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := snapio.Snapshot(&buf, s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snapio.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package snapio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/topk-er/adalsh/internal/core"
+)
+
+// WriteFileAtomic writes a file via a temp-file-then-rename protocol:
+// write writes the content to a temporary file in path's directory,
+// the file is synced and closed, and only then renamed into place. A
+// crash or write error at any earlier point leaves the previous file
+// at path untouched (the temp file is removed on error), so checkpoint
+// files are always either the old complete snapshot or the new one —
+// never a torn mix.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapio: creating temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("snapio: syncing %s: %w", tmp.Name(), err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("snapio: closing %s: %w", tmp.Name(), err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapio: renaming snapshot into place: %w", err)
+	}
+	return nil
+}
+
+// SaveFile snapshots the stream to path crash-safely (Snapshot through
+// WriteFileAtomic): an interrupted save leaves any previous checkpoint
+// at path intact.
+func SaveFile(path string, s *core.Stream) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		return Snapshot(w, s)
+	})
+}
+
+// LoadFile restores a stream from a snapshot file written by SaveFile
+// (or any complete Snapshot output).
+func LoadFile(path string) (*core.Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Restore(f)
+}

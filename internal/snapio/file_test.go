@@ -1,0 +1,87 @@
+package snapio_test
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/snapio"
+)
+
+// TestSaveLoadFile is the happy path of the crash-safe file helpers.
+func TestSaveLoadFile(t *testing.T) {
+	s := testStream(t, 71)
+	path := filepath.Join(t.TempDir(), "checkpoint.snap")
+	if err := snapio.SaveFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	r, err := snapio.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != s.Len() {
+		t.Fatalf("loaded %d records, want %d", r.Len(), s.Len())
+	}
+}
+
+// TestWriteFileAtomicKeepsPrevious: a save that dies mid-write leaves
+// the previous checkpoint intact and loadable, and removes its temp
+// file.
+func TestWriteFileAtomicKeepsPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "checkpoint.snap")
+	old := testStream(t, 73)
+	if err := snapio.SaveFile(path, old); err != nil {
+		t.Fatal(err)
+	}
+	prev, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("power loss")
+	err = snapio.WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage that must never reach the checkpoint"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("WriteFileAtomic error = %v, want %v", err, boom)
+	}
+
+	now, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(now) != string(prev) {
+		t.Fatal("failed save modified the previous checkpoint")
+	}
+	if r, err := snapio.LoadFile(path); err != nil || r.Len() != old.Len() {
+		t.Fatalf("previous checkpoint no longer loads: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind after failed save", e.Name())
+		}
+	}
+}
+
+// TestLoadFileRejectsTornFile: a torn file written without the atomic
+// helper (simulating a crash mid-write straight to the target path) is
+// rejected on load rather than half-restored.
+func TestLoadFileRejectsTornFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.snap")
+	blob := snapshotBytes(t, testStream(t, 79))
+	if err := os.WriteFile(path, blob[:len(blob)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapio.LoadFile(path); err == nil {
+		t.Fatal("LoadFile accepted a torn snapshot file")
+	}
+}

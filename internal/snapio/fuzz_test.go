@@ -1,0 +1,42 @@
+package snapio_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/snapio"
+)
+
+// FuzzSnapioDecode hammers the binary decoder with mutated snapshots:
+// truncated, bit-flipped and version-bumped inputs must return errors —
+// never panic, and never allocate unboundedly from a lying length field
+// (the decoder sanity-caps counts and reads bulk data in chunks).
+// Inputs that do decode must re-encode cleanly.
+func FuzzSnapioDecode(f *testing.F) {
+	st := goldenState(f)
+	var buf bytes.Buffer
+	if err := snapio.WriteState(&buf, st); err != nil {
+		f.Fatal(err)
+	}
+	blob := buf.Bytes()
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add(blob[:9])
+	f.Add([]byte("ADALSNAP"))
+	bumped := append([]byte(nil), blob...)
+	bumped[8] = 99
+	f.Add(bumped)
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := snapio.ReadState(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := snapio.WriteState(&out, decoded); err != nil {
+			t.Fatalf("decoded state does not re-encode: %v", err)
+		}
+	})
+}

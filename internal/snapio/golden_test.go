@@ -1,0 +1,66 @@
+package snapio_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/snapio"
+)
+
+// TestGoldenV1 pins the v1 encoding bytes of a canonical hand-built
+// stream state (no wall-clock calibration anywhere, so the encoding is
+// fully deterministic). Regenerate with UPDATE_GOLDEN=1 go test — but
+// only after bumping formatVersion if the change alters the format.
+func TestGoldenV1(t *testing.T) {
+	st := goldenState(t)
+	var buf bytes.Buffer
+	if err := snapio.WriteState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot_v1.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden fixture (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("snapio v1 encoding drifted from the golden fixture (%d bytes, want %d).\n"+
+			"If the format change is intentional, bump formatVersion and regenerate the fixture with UPDATE_GOLDEN=1.",
+			buf.Len(), len(want))
+	}
+
+	// The fixture also decodes into a state that re-encodes canonically
+	// and restores to a live stream.
+	got, err := snapio.ReadState(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := snapio.WriteState(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Fatal("golden fixture does not re-encode to itself (non-canonical decode)")
+	}
+	if !reflect.DeepEqual(got.Cache, st.Cache) {
+		t.Fatal("golden cache state does not round-trip")
+	}
+	s, err := core.RestoreStream(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 || s.Plan() == nil || s.Replans() != 1 {
+		t.Fatalf("restored golden stream: len=%d plan=%v replans=%d", s.Len(), s.Plan() != nil, s.Replans())
+	}
+	if evals := s.CachedHashEvals(); len(evals) != 1 || evals[0] != 45 {
+		t.Fatalf("restored golden stream HashEvals = %v, want [45]", evals)
+	}
+}

@@ -1,0 +1,176 @@
+package snapio_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/obs"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/snapio"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// TestWarmRestartSkipsRehashing is the acceptance bar for warm
+// restarts at scale: restoring a 100k+-record session and re-answering
+// the same query must perform ZERO base hash evaluations — every
+// signature is served from the restored cache — asserted through the
+// obs hash_evals counter.
+func TestWarmRestartSkipsRehashing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-record session in -short mode")
+	}
+	const (
+		entities = 20_000
+		members  = 5 // 100_000 records
+	)
+	s := core.NewStream(jacRule(), core.SequenceConfig{Seed: 97, Levels: 4})
+	s.SetReplanGrowth(1e18) // one query; no replan either way
+	rng := xhash.NewRNG(97)
+	for e := 0; e < entities; e++ {
+		base := make([]uint64, 8)
+		for i := range base {
+			base[i] = rng.Uint64()
+		}
+		for m := 0; m < members; m++ {
+			elems := append([]uint64(nil), base...)
+			elems[int(rng.Uint64()%uint64(len(elems)))] = rng.Uint64()
+			s.AddWithTruth(e, record.NewSet(elems))
+		}
+	}
+	cold, err := s.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldEvals := s.CachedHashEvals()
+
+	var buf bytes.Buffer
+	if err := snapio.Snapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("snapshot: %d records, %d bytes", s.Len(), buf.Len())
+
+	col := obs.NewCollector()
+	r, err := snapio.RestoreWithObs(bytes.NewReader(buf.Bytes()), col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Counter(obs.CtrRestoreBytes); got != int64(buf.Len()) {
+		t.Fatalf("restore_bytes counter %d, want %d", got, buf.Len())
+	}
+	if !reflect.DeepEqual(r.CachedHashEvals(), coldEvals) {
+		t.Fatalf("restored cumulative HashEvals %v, want %v", r.CachedHashEvals(), coldEvals)
+	}
+
+	warm, err := r.TopK(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Counter(obs.CtrHashEvals); got != 0 {
+		t.Fatalf("warm re-query evaluated %d base hashes, want 0 (cache must serve everything)", got)
+	}
+	if hits := col.Counter(obs.CtrCacheHits); hits == 0 {
+		t.Fatal("warm re-query reported no cache hits")
+	}
+	if !reflect.DeepEqual(warm.Clusters, cold.Clusters) {
+		t.Fatal("warm re-query clusters differ from the cold run")
+	}
+	if !reflect.DeepEqual(r.CachedHashEvals(), coldEvals) {
+		t.Fatalf("warm re-query grew HashEvals to %v from %v", r.CachedHashEvals(), coldEvals)
+	}
+}
+
+// TestSnapshotObsCounters: saving reports a StageSnapshot span and a
+// snapshot_bytes counter equal to the encoded size.
+func TestSnapshotObsCounters(t *testing.T) {
+	s := testStream(t, 83)
+	col := obs.NewCollector()
+	s.SetObs(col)
+	var buf bytes.Buffer
+	if err := snapio.Snapshot(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.Counter(obs.CtrSnapshotBytes); got != int64(buf.Len()) {
+		t.Fatalf("snapshot_bytes counter %d, want %d", got, buf.Len())
+	}
+	var spans int
+	for _, sp := range col.Spans() {
+		if sp.Stage == obs.StageSnapshot {
+			spans++
+			if sp.Errored {
+				t.Fatal("successful snapshot span marked errored")
+			}
+			if sp.Items != s.Len() {
+				t.Fatalf("snapshot span items %d, want %d", sp.Items, s.Len())
+			}
+		}
+	}
+	if spans != 1 {
+		t.Fatalf("%d snapshot spans, want 1", spans)
+	}
+}
+
+// TestCheckpointEvery: the periodic hook fires when enough records
+// arrived since the last checkpoint, keeps the newest state on disk,
+// and surfaces hook failures without losing the query result.
+func TestCheckpointEvery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.snap")
+	s := core.NewStream(jacRule(), core.SequenceConfig{Seed: 89, Levels: 3})
+	s.SetReplanGrowth(1e18)
+	var fired int
+	s.SetCheckpointEvery(30, func(st *core.Stream) error {
+		fired++
+		return snapio.SaveFile(path, st)
+	})
+	rng := xhash.NewRNG(89)
+
+	addEntities(s, rng, 5, 4, 10) // 20 records — below the every=30 threshold
+	if _, err := s.TopK(2); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("checkpoint fired after %d adds with every=30", s.Len())
+	}
+	addEntities(s, rng, 5, 4, 10) // 40 total
+	if _, err := s.TopK(2); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("checkpoint fired %d times after 40 adds, want 1", fired)
+	}
+	// No adds since the checkpoint: the hook stays quiet.
+	if _, err := s.TopK(2); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("checkpoint fired %d times with no new records, want 1", fired)
+	}
+	r, err := snapio.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 40 {
+		t.Fatalf("checkpoint holds %d records, want 40", r.Len())
+	}
+
+	// A failing hook surfaces its error but still returns the result.
+	s.SetCheckpointEvery(1, func(*core.Stream) error {
+		return errTestBoom
+	})
+	addEntities(s, rng, 1, 2, 10)
+	res, err := s.TopKClusters(2, 0)
+	if err == nil {
+		t.Fatal("failing checkpoint hook reported no error")
+	}
+	if res == nil {
+		t.Fatal("checkpoint failure discarded the query result")
+	}
+}
+
+var errTestBoom = &checkpointErr{}
+
+type checkpointErr struct{}
+
+func (*checkpointErr) Error() string { return "checkpoint sink unavailable" }
