@@ -72,8 +72,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if (*saveState != "" || *loadState != "") && *method != "ada" {
-		log.Fatalf("-save-state/-load-state require -method ada (got %q)", *method)
+	if err := validateMethodFlags(*method, *queryRecs, *saveState, *loadState, *planIn, *planOut); err != nil {
+		log.Fatal(err)
 	}
 	stopProf, err := profiling.Start(*pprofPath, *tracePath, *memprofPath)
 	if err != nil {
@@ -134,9 +134,6 @@ func main() {
 		}
 	}()
 	if *queryRecs != "" {
-		if *method != "ada" {
-			log.Fatalf("-query requires -method ada (got %q)", *method)
-		}
 		if err := runQueries(ds, rule, cfg, *queryRecs, *queryM, *queryProbes, *asJSON, *loadState, *saveState); err != nil {
 			log.Fatal(err)
 		}
@@ -264,6 +261,30 @@ func main() {
 		g := metrics.Gold(ds, res.Output, *k)
 		fmt.Printf("vs ground truth: precision %.3f recall %.3f F1 %.3f\n", g.Precision, g.Recall, g.F1)
 	}
+}
+
+// validateMethodFlags rejects flag combinations whose mode the chosen
+// -method cannot serve, naming the offending flag. The stream modes
+// (-query, -save-state, -load-state) and the plan files (-plan,
+// -save-plan) only exist for the adaptive method; before this check
+// ran up front, -query with -method lsh died mid-run and -plan was
+// silently ignored.
+func validateMethodFlags(method, query, saveState, loadState, planIn, planOut string) error {
+	if method == "ada" {
+		return nil
+	}
+	for _, f := range []struct{ name, value string }{
+		{"-query", query},
+		{"-save-state", saveState},
+		{"-load-state", loadState},
+		{"-plan", planIn},
+		{"-save-plan", planOut},
+	} {
+		if f.value != "" {
+			return fmt.Errorf("%s requires -method ada (got -method %s)", f.name, method)
+		}
+	}
+	return nil
 }
 
 // buildStream assembles the session for the stream modes (-query,

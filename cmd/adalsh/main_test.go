@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateMethodFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		method   string
+		query    string
+		save     string
+		load     string
+		planIn   string
+		planOut  string
+		wantFlag string // "" means valid
+	}{
+		{name: "ada allows everything", method: "ada", query: "1,2", save: "s.snap", load: "l.snap", planIn: "p.json", planOut: "q.json"},
+		{name: "lsh plain", method: "lsh"},
+		{name: "pairs plain", method: "pairs"},
+		{name: "lsh rejects query", method: "lsh", query: "1", wantFlag: "-query"},
+		{name: "pairs rejects query", method: "pairs", query: "0,3", wantFlag: "-query"},
+		{name: "lsh rejects save-state", method: "lsh", save: "s.snap", wantFlag: "-save-state"},
+		{name: "pairs rejects load-state", method: "pairs", load: "s.snap", wantFlag: "-load-state"},
+		{name: "lsh rejects plan", method: "lsh", planIn: "p.json", wantFlag: "-plan"},
+		{name: "pairs rejects save-plan", method: "pairs", planOut: "p.json", wantFlag: "-save-plan"},
+		{name: "first offending flag named", method: "lsh", query: "1", save: "s.snap", wantFlag: "-query"},
+		// Unknown methods fail later in the method switch; the stream
+		// flags still name themselves first.
+		{name: "unknown method rejects query", method: "bogus", query: "1", wantFlag: "-query"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateMethodFlags(tc.method, tc.query, tc.save, tc.load, tc.planIn, tc.planOut)
+			if tc.wantFlag == "" {
+				if err != nil {
+					t.Fatalf("want valid, got %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want an error naming %s, got nil", tc.wantFlag)
+			}
+			if !strings.Contains(err.Error(), tc.wantFlag) {
+				t.Errorf("error %q does not name %s", err, tc.wantFlag)
+			}
+			if !strings.Contains(err.Error(), tc.method) {
+				t.Errorf("error %q does not name the method %q", err, tc.method)
+			}
+		})
+	}
+}

@@ -1,0 +1,283 @@
+// Command loadgen drives a live adalshd daemon with a Zipfian
+// ingest + point-query mix and reports throughput and client-observed
+// latency percentiles as a BENCH_serve.json artifact.
+//
+//	adalshd -addr :8321 &
+//	loadgen -addr http://localhost:8321 -records 20000 -out BENCH_serve.json
+//
+// The workload mirrors the synthetic evaluation datasets: entities get
+// Zipf-shaped record counts, each record is a perturbed copy of its
+// entity's base token set, matched by a Jaccard threshold rule.
+// Ingest workers stream batches (retrying 429 backpressure), query
+// workers interleave point lookups, and a re-clustering goroutine
+// keeps the query index fresh — the concurrent serving mix
+// internal/server exists to make safe.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/topk-er/adalsh/internal/experiments"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/server"
+	"github.com/topk-er/adalsh/internal/server/client"
+	"github.com/topk-er/adalsh/internal/xhash"
+	"github.com/topk-er/adalsh/internal/zipfian"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	addr := flag.String("addr", "http://localhost:8321", "adalshd base URL")
+	session := flag.String("session", "loadgen", "session ID to create")
+	records := flag.Int("records", 20000, "records to ingest")
+	entities := flag.Int("entities", 500, "distinct entities")
+	zipf := flag.Float64("zipf", 1.0, "Zipf skew of records per entity")
+	batch := flag.Int("batch", 20, "records per ingest request")
+	ingestWorkers := flag.Int("ingest-workers", 4, "concurrent ingest workers")
+	queryWorkers := flag.Int("query-workers", 4, "concurrent point-query workers")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	k := flag.Int("k", 10, "top-k")
+	refresh := flag.Int("query-refresh", 2000, "session query_refresh (stale-index rebuild cadence)")
+	out := flag.String("out", "", "write a ServeBench JSON report here")
+	flag.Parse()
+
+	bench, err := run(*addr, *session, *records, *entities, *zipf, *batch,
+		*ingestWorkers, *queryWorkers, *seed, *k, *refresh)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := bench.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("ingested %d records in %.1fs: ingest %.0f req/s (p50 %.2fms p99 %.2fms), query %.0f req/s (p50 %.2fms p99 %.2fms, %d read-only), %d topk runs, %d 429 retries\n",
+		bench.Records, bench.WallMS/1000,
+		bench.Ingest.QPS, bench.Ingest.P50MS, bench.Ingest.P99MS,
+		bench.Query.QPS, bench.Query.P50MS, bench.Query.P99MS, bench.ReadOnlyQueries,
+		bench.TopKRuns, bench.Retries429)
+}
+
+// makeWorkload builds the record stream: Zipf-sized entities, each
+// record a perturbed copy (~90% retained tokens plus noise) of its
+// entity's base token set, interleaved so order carries no signal.
+func makeWorkload(records, entities int, zipf float64, seed uint64) []server.WireRecord {
+	rng := xhash.NewRNG(seed ^ 0x10adc0de)
+	sizes := zipfian.Sizes(records, entities, zipf)
+	bases := make([][]uint64, len(sizes))
+	for i := range bases {
+		base := make([]uint64, 60+rng.Intn(60))
+		for j := range base {
+			base[j] = rng.Uint64()
+		}
+		bases[i] = base
+	}
+	truth := make([]int, 0, records)
+	for ent, sz := range sizes {
+		for i := 0; i < sz; i++ {
+			truth = append(truth, ent)
+		}
+	}
+	rng.Shuffle(len(truth), func(i, j int) { truth[i], truth[j] = truth[j], truth[i] })
+	wire := make([]server.WireRecord, len(truth))
+	for i, ent := range truth {
+		var toks []uint64
+		for _, t := range bases[ent] {
+			if rng.Float64() < 0.9 {
+				toks = append(toks, t)
+			}
+		}
+		for n := rng.Intn(6); n > 0; n-- {
+			toks = append(toks, rng.Uint64())
+		}
+		wr, err := client.EncodeRecord(ent, record.NewSet(toks))
+		if err != nil {
+			panic(err)
+		}
+		wire[i] = wr
+	}
+	return wire
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func run(addr, session string, records, entities int, zipf float64, batch, ingestWorkers, queryWorkers int, seed uint64, k, refresh int) (*experiments.ServeBench, error) {
+	c := client.New(addr, &http.Client{Timeout: 2 * time.Minute})
+	if _, err := c.Health(); err != nil {
+		return nil, fmt.Errorf("server not reachable at %s: %w", addr, err)
+	}
+	_, err := c.CreateSession(server.CreateSessionRequest{
+		ID: session, Rule: "jaccard@0 <= 0.4", K: k, Seed: seed,
+		QueryRefresh: refresh, CheckpointEvery: -1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("creating session: %w", err)
+	}
+	wire := makeWorkload(records, entities, zipf, seed)
+
+	// Warm phase: enough records for a stable plan, then one TopK so
+	// point queries have an index to probe.
+	warm := min(records/10, 2000)
+	if warm < batch {
+		warm = min(batch, records)
+	}
+	for at := 0; at < warm; at += batch {
+		if _, err := c.Ingest(session, wire[at:min(at+batch, warm)]...); err != nil {
+			return nil, fmt.Errorf("warm ingest: %w", err)
+		}
+	}
+	if _, err := c.TopK(session, 0, 0); err != nil {
+		return nil, fmt.Errorf("warm topk: %w", err)
+	}
+
+	bench := &experiments.ServeBench{
+		Records: records, Entities: entities, Zipf: zipf, Batch: batch,
+		IngestWorkers: ingestWorkers, QueryWorkers: queryWorkers, K: k, Seed: seed,
+	}
+	var (
+		mu       sync.Mutex
+		ingestMS []float64
+		queryMS  []float64
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	// Batches remaining after the warm phase, fanned out to workers.
+	batches := make(chan []server.WireRecord, ingestWorkers)
+	go func() {
+		for at := warm; at < records; at += batch {
+			batches <- wire[at:min(at+batch, records)]
+		}
+		close(batches)
+	}()
+
+	start := time.Now()
+	var ingesters, aux sync.WaitGroup
+	for w := 0; w < ingestWorkers; w++ {
+		ingesters.Add(1)
+		go func() {
+			defer ingesters.Done()
+			for b := range batches {
+				for {
+					t0 := time.Now()
+					_, err := c.Ingest(session, b...)
+					lat := time.Since(t0).Seconds() * 1000
+					if client.IsBusy(err) {
+						mu.Lock()
+						bench.Retries429++
+						mu.Unlock()
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					if err != nil {
+						fail(fmt.Errorf("ingest: %w", err))
+						return
+					}
+					mu.Lock()
+					ingestMS = append(ingestMS, lat)
+					mu.Unlock()
+					break
+				}
+			}
+		}()
+	}
+
+	// Point-query workers probe with already-sent records until ingest
+	// finishes; the re-clustering loop keeps the index fresh the way a
+	// serving deployment would.
+	ingestDone := make(chan struct{})
+	for w := 0; w < queryWorkers; w++ {
+		aux.Add(1)
+		go func(w int) {
+			defer aux.Done()
+			rng := xhash.NewRNG(seed ^ uint64(0xbadc0ffe+w))
+			for {
+				select {
+				case <-ingestDone:
+					return
+				default:
+				}
+				probe := wire[rng.Intn(warm)]
+				t0 := time.Now()
+				resp, err := c.Query(session, server.QueryRequest{Fields: probe.Fields, M: 3})
+				lat := time.Since(t0).Seconds() * 1000
+				if err != nil {
+					mu.Lock()
+					bench.QueryErrors++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				queryMS = append(queryMS, lat)
+				if resp.ReadOnly {
+					bench.ReadOnlyQueries++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	aux.Add(1)
+	go func() {
+		defer aux.Done()
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ingestDone:
+				return
+			case <-tick.C:
+				if _, err := c.TopK(session, 0, 0); err != nil {
+					fail(fmt.Errorf("topk: %w", err))
+					return
+				}
+				mu.Lock()
+				bench.TopKRuns++
+				mu.Unlock()
+			}
+		}
+	}()
+
+	ingesters.Wait()
+	close(ingestDone)
+	aux.Wait()
+	wall := time.Since(start)
+
+	// One final re-cluster so the reported session state covers every
+	// ingested record.
+	if _, err := c.TopK(session, 0, 0); err != nil {
+		fail(fmt.Errorf("final topk: %w", err))
+	} else {
+		bench.TopKRuns++
+	}
+
+	bench.WallMS = wall.Seconds() * 1000
+	bench.Ingest = experiments.Latency(ingestMS, wall.Seconds())
+	bench.Query = experiments.Latency(queryMS, wall.Seconds())
+	return bench, firstErr
+}

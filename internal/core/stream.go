@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"reflect"
@@ -9,6 +10,32 @@ import (
 	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/record"
 )
+
+// ErrNoQueryIndex is returned by Stream.Query before any successful
+// TopK/TopKClusters run: there is no captured index to probe and no
+// previous arguments to replay for a transparent build.
+var ErrNoQueryIndex = errors.New("core: stream query before TopK (no index to probe)")
+
+// CheckpointError reports that a TopKClusters run computed its result
+// but the SetCheckpointEvery hook failed to persist it. The result the
+// error rides along with is valid — only durability is degraded — so
+// callers that can proceed without the checkpoint (a serving layer, a
+// transparent Query rebuild) should unwrap this type with errors.As,
+// use the result, and surface the persistence failure out of band
+// (TopKClusters already bumps the checkpoint_failures obs counter).
+type CheckpointError struct {
+	// Records is the stream length when the checkpoint was attempted.
+	Records int
+	// Err is the hook's error.
+	Err error
+}
+
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("core: stream checkpoint at %d records: %v", e.Records, e.Err)
+}
+
+// Unwrap exposes the hook's error to errors.Is/As.
+func (e *CheckpointError) Unwrap() error { return e.Err }
 
 // defaultReplanGrowth is the dataset growth factor past which a stream
 // re-designs its plan: when the stream holds at least this many times
@@ -146,19 +173,26 @@ func (s *Stream) Obs() obs.Sink { return s.sink }
 
 // SetCheckpointEvery registers a periodic checkpoint hook: after every
 // successful TopKClusters, fn runs when at least every records were
-// added since the last checkpoint (or since the stream started). A
+// added since the last checkpoint (or since the hook was registered). A
 // typical fn snapshots the stream to durable storage (e.g.
 // snapio.SaveFile). When fn fails, TopKClusters returns the query's
-// result together with the wrapped checkpoint error — the computation
-// succeeded; only its persistence did not. every < 1 or a nil fn
-// disables the hook.
+// result together with a *CheckpointError — the computation succeeded;
+// only its persistence did not. every < 1 or a nil fn disables the
+// hook.
+//
+// Registration counts the records already present as checkpointed:
+// hook state is deliberately not persisted, so the standard pattern is
+// RestoreStream followed by SetCheckpointEvery, and re-checkpointing
+// the entire just-restored (unchanged) session on the very next TopK
+// would be pure waste. Only records added after registration count
+// toward the cadence.
 func (s *Stream) SetCheckpointEvery(every int, fn func(*Stream) error) {
 	if every < 1 || fn == nil {
 		s.ckptEvery, s.ckptFn = 0, nil
 		return
 	}
 	s.ckptEvery, s.ckptFn = every, fn
-	s.ckptAt = 0
+	s.ckptAt = s.ds.Len()
 }
 
 // SetReplanGrowth sets the dataset growth factor past which a query
@@ -184,6 +218,10 @@ func (s *Stream) effReplanGrowth() float64 {
 
 // Replans reports how many times the stream has re-designed its plan.
 func (s *Stream) Replans() int { return s.replans }
+
+// Rule reports the matching rule the stream was created with (serving
+// layers echo it back in session metadata).
+func (s *Stream) Rule() distance.Rule { return s.rule }
 
 // Len reports the number of records in the stream.
 func (s *Stream) Len() int { return s.ds.Len() }
@@ -246,7 +284,8 @@ func (s *Stream) TopKClusters(k, returnClusters int) (*Result, error) {
 	qt.End()
 	if s.ckptFn != nil && s.ds.Len()-s.ckptAt >= s.ckptEvery {
 		if err := s.ckptFn(s); err != nil {
-			return res, fmt.Errorf("core: stream checkpoint at %d records: %w", s.ds.Len(), err)
+			obs.Count(s.sink, obs.CtrCheckpointFailures, 1)
+			return res, &CheckpointError{Records: s.ds.Len(), Err: err}
 		}
 		s.ckptAt = s.ds.Len()
 	}
@@ -305,17 +344,45 @@ func (s *Stream) Query(q *record.Record, m int) (*QueryResult, error) {
 	}
 	if !s.qix.Built() {
 		if s.qLastK == 0 {
-			return nil, fmt.Errorf("core: stream query before TopK (no index to probe)")
+			return nil, ErrNoQueryIndex
 		}
-		if _, err := s.TopKClusters(s.qLastK, s.qLastKhat); err != nil {
+		if err := s.rebuildForQuery(); err != nil {
 			return nil, err
 		}
 	} else if s.queryStale() {
-		if _, err := s.TopKClusters(s.qLastK, s.qLastKhat); err != nil {
+		if err := s.rebuildForQuery(); err != nil {
 			return nil, err
 		}
 	}
 	return s.qix.Query(q, m, QueryOptions{Probes: s.queryProbes, Obs: s.sink})
+}
+
+// rebuildForQuery transparently re-runs the last TopKClusters to
+// refresh the point-query index. A *CheckpointError from the run is
+// not fatal here: the rebuild itself succeeded and the fresh index is
+// in place — only the checkpoint hook's persistence failed — so the
+// lookup must still be answered. TopKClusters already surfaced the
+// failure through the checkpoint_failures obs counter.
+func (s *Stream) rebuildForQuery() error {
+	_, err := s.TopKClusters(s.qLastK, s.qLastKhat)
+	if err == nil {
+		return nil
+	}
+	var ce *CheckpointError
+	if errors.As(err, &ce) {
+		return nil
+	}
+	return err
+}
+
+// QueryFresh reports whether the point-query index is built and not
+// stale: the next Query will probe it directly without mutating the
+// stream. This is the lock-safety hook for serving layers — a fresh
+// index admits concurrent Query calls (they only read), while a Query
+// against a stale or absent index triggers a rebuild and must be
+// serialized with Add/TopK like any other mutation.
+func (s *Stream) QueryFresh() bool {
+	return s.qix.Built() && !s.queryStale()
 }
 
 // QueryIndex exposes the stream's point-lookup index (nil before the

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -287,5 +288,126 @@ func TestStreamMatchesBatchFilter(t *testing.T) {
 		if streamRes.Output[i] != batchRes.Output[i] {
 			t.Fatalf("stream and batch outputs differ at %d", i)
 		}
+	}
+}
+
+// TestStreamQueryAnswersDuringFailingCheckpoint: a transparent index
+// rebuild whose checkpoint hook fails must still answer the lookup —
+// the rebuild succeeded, only persistence did not. The failure surfaces
+// through the checkpoint_failures counter instead.
+func TestStreamQueryAnswersDuringFailingCheckpoint(t *testing.T) {
+	rng := xhash.NewRNG(11)
+	base := make([]uint64, 50)
+	for j := range base {
+		base[j] = rng.Uint64()
+	}
+	other := make([]uint64, 50)
+	for j := range other {
+		other[j] = rng.Uint64()
+	}
+	s := core.NewStream(jaccardRule(), core.SequenceConfig{Seed: 4})
+	s.SetReplanGrowth(math.Inf(1))
+	col := obs.NewCollector()
+	s.SetObs(col)
+	for i := 0; i < 10; i++ {
+		s.AddWithTruth(0, streamEntity(rng, base))
+	}
+	for i := 0; i < 5; i++ {
+		s.AddWithTruth(1, streamEntity(rng, other))
+	}
+	boom := errors.New("checkpoint sink unavailable")
+	s.SetCheckpointEvery(1, func(*core.Stream) error { return boom })
+	s.SetQueryRefresh(1)
+	// Registration counted the 15 records as checkpointed, so the first
+	// build runs no checkpoint and succeeds cleanly.
+	if _, err := s.TopK(1); err != nil {
+		t.Fatalf("first TopK: %v", err)
+	}
+	// One more record makes the index stale AND arms the failing hook:
+	// the Query below transparently rebuilds, the rebuild's checkpoint
+	// fails, and the answer must come back anyway.
+	s.AddWithTruth(0, streamEntity(rng, base))
+	probe := record.Record{Fields: []record.Field{streamEntity(rng, base)}}
+	qr, err := s.Query(&probe, 2)
+	if err != nil {
+		t.Fatalf("query during failing checkpoint: %v", err)
+	}
+	if qr == nil || len(qr.Matches) == 0 {
+		t.Fatal("query during failing checkpoint returned no matches")
+	}
+	if got := col.Counter(obs.CtrCheckpointFailures); got != 1 {
+		t.Fatalf("checkpoint_failures = %d, want 1", got)
+	}
+
+	// A direct TopKClusters still surfaces the failure, as a typed
+	// *CheckpointError carrying the hook error, alongside the result.
+	s.AddWithTruth(1, streamEntity(rng, other))
+	res, err := s.TopKClusters(1, 0)
+	var ce *core.CheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("TopKClusters error %v, want *core.CheckpointError", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("CheckpointError does not unwrap to the hook error")
+	}
+	if ce.Records != s.Len() {
+		t.Fatalf("CheckpointError.Records = %d, want %d", ce.Records, s.Len())
+	}
+	if res == nil {
+		t.Fatal("checkpoint failure discarded the TopKClusters result")
+	}
+}
+
+// TestStreamCheckpointRegistrationNotImmediate: registering the hook on
+// an already-large stream (the standard restore→register sequence —
+// hook state is deliberately not persisted) must not re-checkpoint the
+// entire unchanged session on the very next TopK.
+func TestStreamCheckpointRegistrationNotImmediate(t *testing.T) {
+	rng := xhash.NewRNG(13)
+	base := make([]uint64, 50)
+	for j := range base {
+		base[j] = rng.Uint64()
+	}
+	s := core.NewStream(jaccardRule(), core.SequenceConfig{Seed: 6})
+	s.SetReplanGrowth(math.Inf(1))
+	for i := 0; i < 15; i++ {
+		s.AddWithTruth(0, streamEntity(rng, base))
+	}
+	if _, err := s.TopK(1); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := core.RestoreStream(s.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	r.SetCheckpointEvery(5, func(*core.Stream) error { fired++; return nil })
+	if _, err := r.TopK(1); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("restore→register→TopK re-checkpointed the unchanged session (%d fires)", fired)
+	}
+	// The cadence still applies to records added after registration.
+	for i := 0; i < 5; i++ {
+		r.AddWithTruth(0, streamEntity(rng, base))
+	}
+	if _, err := r.TopK(1); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("checkpoint fired %d times after 5 post-registration adds with every=5, want 1", fired)
+	}
+}
+
+// TestStreamQueryBeforeTopKSentinel: the no-index condition is a typed
+// sentinel serving layers can map to a distinct status code.
+func TestStreamQueryBeforeTopKSentinel(t *testing.T) {
+	s := core.NewStream(jaccardRule(), core.SequenceConfig{Seed: 1})
+	s.AddWithTruth(0, record.NewSet([]uint64{1, 2, 3}))
+	_, err := s.Query(&record.Record{Fields: []record.Field{record.NewSet([]uint64{1, 2, 3})}}, 1)
+	if !errors.Is(err, core.ErrNoQueryIndex) {
+		t.Fatalf("query before TopK returned %v, want ErrNoQueryIndex", err)
 	}
 }

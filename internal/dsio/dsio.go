@@ -61,6 +61,82 @@ type jsonDataset struct {
 	Records []jsonRecord `json:"records"`
 }
 
+// encodeField converts one field to its wire form.
+func encodeField(f record.Field) (jsonField, error) {
+	switch v := f.(type) {
+	case record.Set:
+		return jsonField{Set: v, isSet: true}, nil
+	case record.Vector:
+		return jsonField{Vector: v}, nil
+	case record.Bits:
+		return jsonField{Bits: v.Words, Width: v.Width}, nil
+	default:
+		return jsonField{}, fmt.Errorf("unsupported field type %T", f)
+	}
+}
+
+// decodeField converts one wire field back, validating its shape.
+func decodeField(jf jsonField) (record.Field, error) {
+	kinds := 0
+	for _, present := range []bool{jf.Set != nil, jf.Vector != nil, jf.Bits != nil} {
+		if present {
+			kinds++
+		}
+	}
+	switch {
+	case kinds > 1:
+		return nil, fmt.Errorf("mixes field kinds")
+	case jf.Vector != nil:
+		return record.Vector(jf.Vector), nil
+	case jf.Bits != nil:
+		if jf.Width < 1 || jf.Width > 64*len(jf.Bits) {
+			return nil, fmt.Errorf("bits width %d for %d words", jf.Width, len(jf.Bits))
+		}
+		return record.NewBits(jf.Bits, jf.Width), nil
+	default:
+		// A "set" key (possibly empty) or nothing: treat as set.
+		return record.NewSet(jf.Set), nil
+	}
+}
+
+// EncodeFields converts one record's fields to their standalone wire
+// form — each element is the same JSON object the dataset documents
+// above use per field. The adalshd HTTP API exchanges single records
+// in this form.
+func EncodeFields(fields []record.Field) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, len(fields))
+	for i, f := range fields {
+		jf, err := encodeField(f)
+		if err != nil {
+			return nil, fmt.Errorf("dsio: field %d: %w", i, err)
+		}
+		raw, err := json.Marshal(jf)
+		if err != nil {
+			return nil, fmt.Errorf("dsio: field %d: %w", i, err)
+		}
+		out[i] = raw
+	}
+	return out, nil
+}
+
+// DecodeFields parses one record's fields from the wire form produced
+// by EncodeFields (or hand-written JSON following the dataset format).
+func DecodeFields(raw []json.RawMessage) ([]record.Field, error) {
+	fields := make([]record.Field, len(raw))
+	for i, r := range raw {
+		var jf jsonField
+		if err := json.Unmarshal(r, &jf); err != nil {
+			return nil, fmt.Errorf("dsio: field %d: %w", i, err)
+		}
+		f, err := decodeField(jf)
+		if err != nil {
+			return nil, fmt.Errorf("dsio: field %d: %w", i, err)
+		}
+		fields[i] = f
+	}
+	return fields, nil
+}
+
 // Write serializes the dataset as JSON.
 func Write(w io.Writer, ds *record.Dataset) error {
 	out := jsonDataset{Name: ds.Name, Records: make([]jsonRecord, ds.Len())}
@@ -72,16 +148,11 @@ func Write(w io.Writer, ds *record.Dataset) error {
 			jr.Entity = &e
 		}
 		for fi, f := range r.Fields {
-			switch v := f.(type) {
-			case record.Set:
-				jr.Fields[fi] = jsonField{Set: v, isSet: true}
-			case record.Vector:
-				jr.Fields[fi] = jsonField{Vector: v}
-			case record.Bits:
-				jr.Fields[fi] = jsonField{Bits: v.Words, Width: v.Width}
-			default:
-				return fmt.Errorf("dsio: record %d field %d has unsupported type %T", i, fi, f)
+			jf, err := encodeField(f)
+			if err != nil {
+				return fmt.Errorf("dsio: record %d field %d: %w", i, fi, err)
 			}
+			jr.Fields[fi] = jf
 		}
 		out.Records[i] = jr
 	}
@@ -100,26 +171,11 @@ func Read(r io.Reader) (*record.Dataset, error) {
 	for i, jr := range in.Records {
 		fields := make([]record.Field, len(jr.Fields))
 		for fi, jf := range jr.Fields {
-			kinds := 0
-			for _, present := range []bool{jf.Set != nil, jf.Vector != nil, jf.Bits != nil} {
-				if present {
-					kinds++
-				}
+			f, err := decodeField(jf)
+			if err != nil {
+				return nil, fmt.Errorf("dsio: record %d field %d: %w", i, fi, err)
 			}
-			switch {
-			case kinds > 1:
-				return nil, fmt.Errorf("dsio: record %d field %d mixes field kinds", i, fi)
-			case jf.Vector != nil:
-				fields[fi] = record.Vector(jf.Vector)
-			case jf.Bits != nil:
-				if jf.Width < 1 || jf.Width > 64*len(jf.Bits) {
-					return nil, fmt.Errorf("dsio: record %d field %d has bits width %d for %d words", i, fi, jf.Width, len(jf.Bits))
-				}
-				fields[fi] = record.NewBits(jf.Bits, jf.Width)
-			default:
-				// A "set" key (possibly empty) or nothing: treat as set.
-				fields[fi] = record.NewSet(jf.Set)
-			}
+			fields[fi] = f
 		}
 		entity := -1
 		if jr.Entity != nil {

@@ -2,6 +2,8 @@ package dsio
 
 import (
 	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -114,5 +116,36 @@ func TestWriteRejectsUnknownField(t *testing.T) {
 	var buf bytes.Buffer
 	if err := Write(&buf, ds); err == nil {
 		t.Fatal("Write accepted nil field")
+	}
+}
+
+func TestEncodeDecodeFieldsRoundTrip(t *testing.T) {
+	fields := []record.Field{
+		record.NewSet([]uint64{9, 3, 3, 7}),
+		record.Vector{0.5, -1.25},
+		record.NewBits([]uint64{0xdeadbeef}, 32),
+	}
+	raw, err := EncodeFields(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeFields(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(fields) {
+		t.Fatalf("round trip returned %d fields, want %d", len(back), len(fields))
+	}
+	if !reflect.DeepEqual(back[0], record.NewSet([]uint64{3, 7, 9})) {
+		t.Fatalf("set round trip: %v", back[0])
+	}
+	if !reflect.DeepEqual(back[1], fields[1]) {
+		t.Fatalf("vector round trip: %v", back[1])
+	}
+	if !reflect.DeepEqual(back[2], fields[2]) {
+		t.Fatalf("bits round trip: %v", back[2])
+	}
+	if _, err := DecodeFields([]json.RawMessage{json.RawMessage(`{"set":[1],"vector":[2]}`)}); err == nil {
+		t.Fatal("mixed-kind field accepted")
 	}
 }

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// LatencyBench summarizes one request class of a serving benchmark:
+// throughput plus client-observed latency percentiles.
+type LatencyBench struct {
+	Requests int     `json:"requests"`
+	QPS      float64 `json:"qps"`
+	P50MS    float64 `json:"p50_ms"`
+	P90MS    float64 `json:"p90_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+// ServeBench is the machine-readable outcome of one adalshd load
+// generation run (cmd/adalshd/loadgen): concurrent Zipfian ingest plus
+// point queries against a live daemon, reported like the other BENCH_*
+// artifacts.
+type ServeBench struct {
+	// Workload shape.
+	Records       int     `json:"records"`
+	Entities      int     `json:"entities"`
+	Zipf          float64 `json:"zipf"`
+	Batch         int     `json:"batch"`
+	IngestWorkers int     `json:"ingest_workers"`
+	QueryWorkers  int     `json:"query_workers"`
+	K             int     `json:"k"`
+	Seed          uint64  `json:"seed"`
+
+	// Outcome.
+	WallMS float64      `json:"wall_ms"`
+	Ingest LatencyBench `json:"ingest"`
+	Query  LatencyBench `json:"query"`
+	// TopKRuns counts re-clustering runs interleaved with the load;
+	// Retries429 counts ingest batches that hit the bounded-queue 429
+	// and were retried.
+	TopKRuns   int `json:"topk_runs"`
+	Retries429 int `json:"retries_429"`
+	// ReadOnlyQueries counts point lookups served under the session's
+	// read lock (fresh index) — the concurrency the serving layer is
+	// there to admit.
+	ReadOnlyQueries int `json:"read_only_queries"`
+	QueryErrors     int `json:"query_errors"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *ServeBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Latency folds per-request millisecond samples into a LatencyBench.
+// wallSeconds scales the QPS; the sample slice is sorted in place.
+func Latency(samplesMS []float64, wallSeconds float64) LatencyBench {
+	lb := LatencyBench{Requests: len(samplesMS)}
+	if len(samplesMS) == 0 {
+		return lb
+	}
+	sort.Float64s(samplesMS)
+	if wallSeconds > 0 {
+		lb.QPS = float64(len(samplesMS)) / wallSeconds
+	}
+	lb.P50MS = quantileMS(samplesMS, 0.50)
+	lb.P90MS = quantileMS(samplesMS, 0.90)
+	lb.P99MS = quantileMS(samplesMS, 0.99)
+	lb.MaxMS = samplesMS[len(samplesMS)-1]
+	return lb
+}
+
+// quantileMS reads the q-quantile from an ascending sample slice
+// (nearest-rank).
+func quantileMS(sorted []float64, q float64) float64 {
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

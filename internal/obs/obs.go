@@ -132,6 +132,13 @@ const (
 	// CtrRestoreBytes counts bytes read by stream state restores
 	// (internal/snapio.Restore).
 	CtrRestoreBytes
+	// CtrCheckpointFailures counts stream checkpoint hooks
+	// (core.Stream.SetCheckpointEvery) that returned an error. The
+	// query result the hook rode along with was still delivered — the
+	// counter exists so persistence failures surface in monitoring even
+	// where the caller (e.g. a transparent Query rebuild) swallows the
+	// CheckpointError.
+	CtrCheckpointFailures
 
 	numCounters
 )
@@ -143,6 +150,7 @@ var counterNames = [numCounters]string{
 	"kernel_prefilter_rejects", "kernel_early_exits",
 	"query_probes", "query_candidates",
 	"snapshot_bytes", "restore_bytes",
+	"checkpoint_failures",
 }
 
 // String returns the stable snake_case counter name used by the JSONL

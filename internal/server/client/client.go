@@ -1,0 +1,171 @@
+// Package client is the Go client for the adalshd HTTP API
+// (internal/server). It speaks the wire types of package server
+// verbatim, so round-tripping through it is byte-equivalent to calling
+// the server handlers directly. The loadgen and the integration tests
+// both drive live servers through it.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"github.com/topk-er/adalsh/internal/dsio"
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/server"
+)
+
+// Client talks to one adalshd server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for the server at base (e.g.
+// "http://localhost:8321"). A nil httpClient uses
+// http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// APIError is a non-2xx response: the status code plus the server's
+// error message.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("adalshd: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// IsBusy reports whether err is the 429 backpressure rejection.
+func IsBusy(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+// do runs one request; out (if non-nil) receives the decoded 2xx body.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var er server.ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks liveness.
+func (c *Client) Health() (server.HealthResponse, error) {
+	var out server.HealthResponse
+	err := c.do(http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// CreateSession creates a session and returns its metadata.
+func (c *Client) CreateSession(req server.CreateSessionRequest) (server.SessionInfo, error) {
+	var out server.SessionInfo
+	err := c.do(http.MethodPost, "/v1/sessions", req, &out)
+	return out, err
+}
+
+// Sessions lists the live sessions.
+func (c *Client) Sessions() (server.SessionList, error) {
+	var out server.SessionList
+	err := c.do(http.MethodGet, "/v1/sessions", nil, &out)
+	return out, err
+}
+
+// Delete closes a session (flushing its final checkpoint).
+func (c *Client) Delete(id string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// EncodeRecord builds a wire record from fields plus an optional
+// ground-truth entity (pass -1 for unknown).
+func EncodeRecord(entity int, fields ...record.Field) (server.WireRecord, error) {
+	raw, err := dsio.EncodeFields(fields)
+	if err != nil {
+		return server.WireRecord{}, err
+	}
+	wr := server.WireRecord{Fields: raw}
+	if entity >= 0 {
+		e := entity
+		wr.Entity = &e
+	}
+	return wr, nil
+}
+
+// Ingest appends a batch of wire records to a session. A full ingest
+// queue surfaces as an *APIError with status 429 (see IsBusy).
+func (c *Client) Ingest(id string, records ...server.WireRecord) (server.IngestResponse, error) {
+	var out server.IngestResponse
+	req := server.IngestRequest{Records: records}
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/records", req, &out)
+	return out, err
+}
+
+// TopK re-clusters the session; k/khat 0 take the session defaults.
+func (c *Client) TopK(id string, k, khat int) (server.TopKResponse, error) {
+	var out server.TopKResponse
+	path := "/v1/sessions/" + url.PathEscape(id) + "/topk"
+	q := url.Values{}
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	if khat > 0 {
+		q.Set("khat", strconv.Itoa(khat))
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Query runs one online point lookup against the session.
+func (c *Client) Query(id string, req server.QueryRequest) (server.QueryResponse, error) {
+	var out server.QueryResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/query", req, &out)
+	return out, err
+}
+
+// Stats fetches the session's lifecycle state and obs counters.
+func (c *Client) Stats(id string) (server.StatsResponse, error) {
+	var out server.StatsResponse
+	err := c.do(http.MethodGet, "/v1/sessions/"+url.PathEscape(id)+"/stats", nil, &out)
+	return out, err
+}
