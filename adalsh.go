@@ -36,6 +36,7 @@ import (
 	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/planio"
 	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/shard"
 	"github.com/topk-er/adalsh/internal/snapio"
 )
 
@@ -200,6 +201,14 @@ type Config struct {
 	// for every value — tune it only when profiling shows shard-map
 	// contention or imbalance.
 	HashShards int
+	// Shards > 1 runs the scale-out engine (internal/shard): records
+	// are partitioned across that many independent engine shards, each
+	// hashing its own records with its own signature cache, and a
+	// deterministic cross-shard reconcile pass merges the per-shard
+	// bucket state. The output is byte-identical to the single-engine
+	// run for every shard count; Workers bounds how many shards hash
+	// concurrently. 0 or 1 uses the single engine.
+	Shards int
 	// LegacyMemLayout selects the pre-arena memory layouts: a
 	// slice-per-record signature cache and Go-map bucket tables instead
 	// of the default paged arenas and pooled open-addressing tables.
@@ -294,8 +303,19 @@ func Filter(ds *Dataset, rule Rule, cfg Config) (*Result, error) {
 	return FilterWithPlan(ds, plan, cfg)
 }
 
-// FilterWithPlan runs Adaptive LSH with a pre-designed plan.
+// FilterWithPlan runs Adaptive LSH with a pre-designed plan. When
+// cfg.Shards > 1 the run goes through the sharded scale-out engine
+// with byte-identical results.
 func FilterWithPlan(ds *Dataset, plan *Plan, cfg Config) (*Result, error) {
+	if cfg.Shards > 1 {
+		o := cfg.options()
+		sopts := shard.Options{
+			Shards: cfg.Shards, K: o.K, ReturnClusters: o.ReturnClusters,
+			Workers: o.Workers, CacheLayout: o.CacheLayout, MapTables: o.HashMapTables,
+			OnRound: o.OnRound, Obs: o.Obs,
+		}
+		return shard.Filter(ds, plan, sopts)
+	}
 	return core.Filter(ds, plan, cfg.options())
 }
 
@@ -358,6 +378,20 @@ type Stream = core.Stream
 // rule. The hashing plan is designed at the first TopK call.
 func NewStream(rule Rule, cfg SequenceConfig) *Stream {
 	return core.NewStream(rule, cfg)
+}
+
+// ShardStream attaches the sharded scale-out engine to a stream:
+// subsequent TopK/TopKClusters calls partition records across the
+// given number of engine shards (byte-identical output, per-shard
+// signature caches that persist across queries). Attach before the
+// first TopK. Point queries (Stream.Query) are unavailable on a
+// sharded stream and return an error. Save still snapshots records
+// and plan, but the per-shard signature caches stay process-local —
+// a restored stream re-hashes on its next query (and restores
+// unsharded; call ShardStream again after Restore).
+func ShardStream(s *Stream, shards int) error {
+	_, err := shard.Attach(s, shards)
+	return err
 }
 
 // Save snapshots a live stream — records, designed plan with its

@@ -44,7 +44,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("adalsh: ")
-	input := flag.String("input", "", "dataset JSON file (required; - for stdin)")
+	input := flag.String("input", "", "dataset file (required; - for JSON on stdin; a .col suffix opens the out-of-core column format)")
 	ruleStr := flag.String("rule", "", "matching rule, e.g. 'jaccard@0 <= 0.6' (required)")
 	k := flag.Int("k", 10, "number of top entities to find")
 	khat := flag.Int("khat", 0, "clusters to return (default k)")
@@ -52,6 +52,7 @@ func main() {
 	x := flag.Int("x", 1280, "hash budget for -method lsh")
 	workers := flag.Int("workers", 0, "worker-pool size for the parallel pairwise/hashing stages (0 = all CPUs, 1 = serial)")
 	hashShards := flag.Int("hash-shards", 0, "bucket-map shards of the parallel hash stage (0 = workers); output is identical for every value")
+	shards := flag.Int("shards", 0, "run through the sharded scale-out engine with this many record partitions (-method ada; output is byte-identical; 0/1 = single engine)")
 	seed := flag.Uint64("seed", 42, "hashing seed")
 	asJSON := flag.Bool("json", false, "emit a JSON report")
 	planIn := flag.String("plan", "", "load a previously saved plan instead of designing one (-method ada)")
@@ -75,6 +76,14 @@ func main() {
 	if err := validateMethodFlags(*method, *queryRecs, *saveState, *loadState, *planIn, *planOut); err != nil {
 		log.Fatal(err)
 	}
+	if *shards > 1 {
+		if *method != "ada" {
+			log.Fatalf("-shards requires -method ada (got -method %s)", *method)
+		}
+		if *queryRecs != "" {
+			log.Fatal("-query is unavailable with -shards > 1: the sharded engine retains no point-query index")
+		}
+	}
 	stopProf, err := profiling.Start(*pprofPath, *tracePath, *memprofPath)
 	if err != nil {
 		log.Fatal(err)
@@ -85,7 +94,17 @@ func main() {
 		}
 	}()
 	var ds *adalsh.Dataset
-	if *input != "" {
+	switch {
+	case strings.HasSuffix(*input, ".col"):
+		// Out-of-core column file: the token data stays memory-mapped on
+		// disk, only record headers come into the heap.
+		cf, err := dsio.OpenCol(*input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer cf.Close()
+		ds = cf.Dataset
+	case *input != "":
 		in := os.Stdin
 		if *input != "-" {
 			f, err := os.Open(*input)
@@ -108,7 +127,7 @@ func main() {
 
 	cfg := adalsh.Config{
 		K: *k, ReturnClusters: *khat,
-		Workers: *workers, HashShards: *hashShards,
+		Workers: *workers, HashShards: *hashShards, Shards: *shards,
 		Sequence:        adalsh.SequenceConfig{Seed: *seed},
 		LegacyMemLayout: *legacyMem,
 	}
@@ -317,6 +336,11 @@ func buildStream(ds *adalsh.Dataset, rule adalsh.Rule, cfg adalsh.Config, loadSt
 	}
 	st.SetWorkers(cfg.Workers, cfg.HashShards)
 	st.SetObs(cfg.Obs)
+	if cfg.Shards > 1 {
+		if err := adalsh.ShardStream(st, cfg.Shards); err != nil {
+			return nil, nil, err
+		}
+	}
 	return st, st.Dataset(), nil
 }
 

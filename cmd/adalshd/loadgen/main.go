@@ -46,11 +46,16 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	k := flag.Int("k", 10, "top-k")
 	refresh := flag.Int("query-refresh", 2000, "session query_refresh (stale-index rebuild cadence)")
+	shards := flag.Int("shards", 0, "create the session on the sharded scale-out engine with this many partitions (0/1 = single engine; point queries are unavailable sharded, so query workers are disabled)")
 	out := flag.String("out", "", "write a ServeBench JSON report here")
 	flag.Parse()
 
+	if *shards > 1 && *queryWorkers > 0 {
+		log.Printf("note: -shards %d disables the %d query workers (sharded sessions serve no point queries)", *shards, *queryWorkers)
+		*queryWorkers = 0
+	}
 	bench, err := run(*addr, *session, *records, *entities, *zipf, *batch,
-		*ingestWorkers, *queryWorkers, *seed, *k, *refresh)
+		*ingestWorkers, *queryWorkers, *seed, *k, *refresh, *shards)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,14 +126,14 @@ func min(a, b int) int {
 	return b
 }
 
-func run(addr, session string, records, entities int, zipf float64, batch, ingestWorkers, queryWorkers int, seed uint64, k, refresh int) (*experiments.ServeBench, error) {
+func run(addr, session string, records, entities int, zipf float64, batch, ingestWorkers, queryWorkers int, seed uint64, k, refresh, shards int) (*experiments.ServeBench, error) {
 	c := client.New(addr, &http.Client{Timeout: 2 * time.Minute})
 	if _, err := c.Health(); err != nil {
 		return nil, fmt.Errorf("server not reachable at %s: %w", addr, err)
 	}
 	_, err := c.CreateSession(server.CreateSessionRequest{
 		ID: session, Rule: "jaccard@0 <= 0.4", K: k, Seed: seed,
-		QueryRefresh: refresh, CheckpointEvery: -1,
+		QueryRefresh: refresh, CheckpointEvery: -1, Shards: shards,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("creating session: %w", err)
@@ -184,26 +189,20 @@ func run(addr, session string, records, entities int, zipf float64, batch, inges
 		go func() {
 			defer ingesters.Done()
 			for b := range batches {
-				for {
-					t0 := time.Now()
-					_, err := c.Ingest(session, b...)
-					lat := time.Since(t0).Seconds() * 1000
-					if client.IsBusy(err) {
-						mu.Lock()
-						bench.Retries429++
-						mu.Unlock()
-						time.Sleep(5 * time.Millisecond)
-						continue
-					}
-					if err != nil {
-						fail(fmt.Errorf("ingest: %w", err))
-						return
-					}
-					mu.Lock()
-					ingestMS = append(ingestMS, lat)
-					mu.Unlock()
-					break
+				// IngestWait rides out 429s honoring the server's
+				// Retry-After hint; latency covers the whole wait, as a
+				// client would experience it.
+				t0 := time.Now()
+				_, retries, err := c.IngestWait(session, b...)
+				lat := time.Since(t0).Seconds() * 1000
+				if err != nil {
+					fail(fmt.Errorf("ingest: %w", err))
+					return
 				}
+				mu.Lock()
+				bench.Retries429 += retries
+				ingestMS = append(ingestMS, lat)
+				mu.Unlock()
 			}
 		}()
 	}

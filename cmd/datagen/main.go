@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"github.com/topk-er/adalsh/internal/datasets"
 	"github.com/topk-er/adalsh/internal/dsio"
@@ -27,7 +28,7 @@ func main() {
 	scale := flag.Int("scale", 1, "scale factor for cora/spotsigs (1, 2, 4, 8)")
 	zipf := flag.String("zipf", "1.1", "zipf exponent for images: 1.05, 1.1 or 1.2")
 	seed := flag.Uint64("seed", 42, "generator seed")
-	out := flag.String("out", "-", "output file (- for stdout)")
+	out := flag.String("out", "-", "output file (- for JSON on stdout; a .col suffix writes the out-of-core column format)")
 	flag.Parse()
 
 	var bench *datasets.Benchmark
@@ -47,21 +48,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if strings.HasSuffix(*out, ".col") {
+		// Column format: what cmd/adalsh opens out-of-core.
+		if err := dsio.WriteCol(*out, bench.Dataset); err != nil {
 			log.Fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
+	} else {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
 				log.Fatal(err)
 			}
-		}()
-		w = f
-	}
-	if err := dsio.Write(w, bench.Dataset); err != nil {
-		log.Fatal(err)
+			defer func() {
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}()
+			w = f
+		}
+		if err := dsio.Write(w, bench.Dataset); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s: %d records, %d entities\nmatching rule: %s\n",
 		bench.Dataset.Name, bench.Dataset.Len(), len(bench.Dataset.Entities()), ruleSpec)

@@ -45,6 +45,11 @@ func main() {
 	tracePath := flag.String("trace", "", "write an execution trace of the run to this file (inspect with go tool trace)")
 	memprofPath := flag.String("memprofile", "", "write an allocation (heap) profile of the run to this file (inspect with go tool pprof -sample_index=alloc_objects)")
 	legacyMem := flag.Bool("legacy-mem", false, "use the legacy memory layouts (slice-backed hash cache, map bucket tables); results are identical — for A/B benchmarking the BENCH memory fields")
+	scale := flag.Bool("scale", false, "run the sharded scale-out benchmark: stream a Zipfian workload into an out-of-core .col file and filter it with the sharded engine, writing BENCH_scale.json (into -stats-json DIR, or the working directory)")
+	scaleRecords := flag.Int("scale-records", 10_000_000, "workload size of the -scale run")
+	scaleShards := flag.Int("scale-shards", 4, "shard count of the -scale run")
+	scaleZipf := flag.Float64("scale-zipf", 0, "entity-size Zipf exponent of the -scale run (0 = default 0.6; head-heavy exponents >= 1 need RAM in proportion to the head entity)")
+	scaleDir := flag.String("scale-dir", "", "working directory for the -scale .col file (default: a temp dir, removed afterwards; set to keep the file)")
 	flag.Parse()
 
 	if *list {
@@ -96,6 +101,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *scale {
+		if err := runScaleBench(*scaleRecords, *scaleShards, *scaleZipf, *workers, *seed, *scaleDir, *statsJSON); err != nil {
+			stopProf()
+			fatal(err)
+		}
+	}
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
@@ -134,6 +145,43 @@ func writeBenchReports(p *experiments.Provider, dir string, quick, skipImages bo
 			rep.Dataset, rep.Records, rep.Serial.ElapsedMS, rep.Parallel.ElapsedMS,
 			rep.Parallel.Workers, rep.SpeedupVsSerial, path)
 	}
+	return nil
+}
+
+// runScaleBench runs the sharded out-of-core benchmark and writes
+// BENCH_scale.json.
+func runScaleBench(records, shards int, zipf float64, workers int, seed uint64, dir, statsDir string) error {
+	rep, err := experiments.RunScale(experiments.ScaleOptions{
+		Records: records, Shards: shards, Zipf: zipf, Workers: workers, Seed: seed,
+		Dir: dir, KeepCol: dir != "",
+		Progress: func(format string, args ...any) {
+			fmt.Printf("scale: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	outDir := statsDir
+	if outDir == "" {
+		outDir = "."
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_scale.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("scale: %d records over %d shards: filter %.1fs (hash parallelism %.2f) -> %s\n",
+		rep.Records, rep.Shards, rep.FilterMS/1000, rep.HashParallelism, path)
 	return nil
 }
 

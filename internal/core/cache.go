@@ -191,6 +191,31 @@ func (c *Cache) Prefix(h, rec int) int {
 	return int(c.refs[h][rec].n)
 }
 
+// MemBytes reports the cache's approximate resident size: signature
+// storage (arena pages, or the legacy per-record slices) plus the
+// per-record bookkeeping. The figure is an estimate for capacity
+// planning and the per-shard BENCH reports, not an exact heap
+// accounting.
+func (c *Cache) MemBytes() int64 {
+	var total int64
+	if c.layout == CacheSlices {
+		for h := range c.vals {
+			total += int64(len(c.vals[h])) * 24 // slice headers
+			for _, v := range c.vals[h] {
+				total += int64(cap(v)) * 8
+			}
+		}
+		return total
+	}
+	for h := range c.arenas {
+		for _, p := range *c.arenas[h].pages.Load() {
+			total += int64(len(p)) * 8
+		}
+		total += int64(len(c.refs[h])) * 16
+	}
+	return total
+}
+
 // Grow extends the cache to cover n records (no-op if already large
 // enough). The Stream type calls this as its dataset grows; existing
 // cached prefixes are preserved.

@@ -42,9 +42,9 @@ const DefaultQueryProbes = 2
 type BucketCapture struct {
 	shards    int
 	numTables int
-	tables    []*oaTable          // open-addressing layout (nil on map layout)
-	maps      []map[uint64]int32  // legacy map layout (nil on oa layout)
-	prev      [][]int32           // prev[t][li]: li's bucket predecessor, -1 none
+	tables    []*oaTable         // open-addressing layout (nil on map layout)
+	maps      []map[uint64]int32 // legacy map layout (nil on oa layout)
+	prev      [][]int32          // prev[t][li]: li's bucket predecessor, -1 none
 }
 
 // begin prepares the capture for an invocation over numRecs records.

@@ -108,7 +108,23 @@ type Stream struct {
 	// queryRefresh is the add count past which Query rebuilds the
 	// index (>0 absolute, 0 heuristic, <0 never; see SetQueryRefresh).
 	queryRefresh int
+
+	// engine, when non-nil, replaces the built-in filtering engine
+	// (SetEngine): TopKClusters delegates each pass to it instead of
+	// calling Filter. The stream then keeps no signature cache and no
+	// point-query index of its own — the engine owns the expensive
+	// state (the sharded engine keeps per-shard caches).
+	engine FilterFunc
 }
+
+// FilterFunc is a pluggable filtering engine for a Stream: one
+// filtering pass over the stream's dataset with the stream's current
+// plan. Implementations must honor the core.Options semantics they
+// support and return results equivalent to Filter (the sharded engine
+// returns byte-identical ones). The Cache, HashPool and Capture fields
+// of opts are nil when a Stream drives a custom engine: the engine
+// owns its caching state across calls.
+type FilterFunc func(ds *record.Dataset, plan *Plan, opts Options) (*Result, error)
 
 // NewStream creates an empty stream for the given matching rule. The
 // stream keeps one scratch pool alongside the hash cache, so the hash
@@ -165,6 +181,27 @@ func (s *Stream) SetMemLayout(layout CacheLayout, mapTables bool) {
 // StageStream span wrapping the filter run's own spans and counters,
 // and plan re-designs bump the replans counter. A nil sink detaches.
 func (s *Stream) SetObs(sink obs.Sink) { s.sink = sink }
+
+// SetEngine replaces the stream's built-in filtering engine with fn
+// (internal/shard attaches its sharded engine this way; the import
+// points from shard to core, so the hook lives here). A nil fn
+// restores the built-in engine.
+//
+// With a custom engine attached the stream stops maintaining its own
+// signature cache and point-query index: the engine owns signature
+// state (and must keep it consistent with the growing dataset), and
+// Query returns ErrNoQueryIndex — point lookups need the built-in
+// engine's bucket capture. Plan design, growth-triggered re-planning
+// and checkpoint hooks behave unchanged.
+func (s *Stream) SetEngine(fn FilterFunc) {
+	s.engine = fn
+	if fn != nil {
+		s.cache = nil
+	}
+}
+
+// Engine reports whether a custom filtering engine is attached.
+func (s *Stream) Engine() bool { return s.engine != nil }
 
 // Obs reports the stream's observability sink (nil when detached);
 // snapshot codecs use it to report save/restore spans on the stream's
@@ -261,17 +298,27 @@ func (s *Stream) TopKClusters(k, returnClusters int) (*Result, error) {
 		qt.End()
 		return nil, err
 	}
-	s.cache.Grow(s.ds.Len())
-	if s.qix == nil {
-		s.qix = &QueryIndex{}
+	var res *Result
+	var err error
+	if s.engine != nil {
+		res, err = s.engine(s.ds, s.plan, Options{
+			K: k, ReturnClusters: returnClusters,
+			Workers: s.workers, HashShards: s.shards, HashMinParallel: s.hashMin,
+			HashMapTables: s.mapTables, CacheLayout: s.layout, Obs: s.sink,
+		})
+	} else {
+		s.cache.Grow(s.ds.Len())
+		if s.qix == nil {
+			s.qix = &QueryIndex{}
+		}
+		s.qix.Release(s.pool)
+		res, err = Filter(s.ds, s.plan, Options{
+			K: k, ReturnClusters: returnClusters, Cache: s.cache, HashPool: s.pool,
+			Workers: s.workers, HashShards: s.shards, HashMinParallel: s.hashMin,
+			HashMapTables: s.mapTables, Obs: s.sink,
+			Capture: s.qix,
+		})
 	}
-	s.qix.Release(s.pool)
-	res, err := Filter(s.ds, s.plan, Options{
-		K: k, ReturnClusters: returnClusters, Cache: s.cache, HashPool: s.pool,
-		Workers: s.workers, HashShards: s.shards, HashMinParallel: s.hashMin,
-		HashMapTables: s.mapTables, Obs: s.sink,
-		Capture: s.qix,
-	})
 	if err != nil {
 		qt.Errored = true
 		qt.End()
@@ -342,6 +389,11 @@ func (s *Stream) Query(q *record.Record, m int) (*QueryResult, error) {
 	if m < 1 {
 		return nil, fmt.Errorf("core: query m = %d, want >= 1", m)
 	}
+	if s.engine != nil {
+		// Custom engines (the sharded one) keep no bucket capture to
+		// probe; point lookups are a built-in-engine feature.
+		return nil, ErrNoQueryIndex
+	}
 	if !s.qix.Built() {
 		if s.qLastK == 0 {
 			return nil, ErrNoQueryIndex
@@ -405,6 +457,13 @@ func (s *Stream) ensurePlan() error {
 		return err
 	}
 	switch {
+	case s.engine != nil:
+		// A custom engine owns signature state; the stream keeps no
+		// cache of its own. Replans still count below when one exists.
+		if s.plan != nil {
+			s.replans++
+			obs.Count(s.sink, obs.CtrReplans, 1)
+		}
 	case s.plan == nil:
 		s.cache = NewCacheLayout(s.ds, len(plan.Hashers), s.layout)
 	case reflect.DeepEqual(s.plan.HasherDescs, plan.HasherDescs):

@@ -160,31 +160,141 @@ func Write(w io.Writer, ds *record.Dataset) error {
 	return enc.Encode(out)
 }
 
-// Read parses a dataset from JSON and validates its layout.
+// Read parses a dataset from JSON and validates its layout. The
+// document is consumed incrementally (see ReadBatches), so reading a
+// multi-gigabyte dataset never buffers the raw JSON — only the
+// decoded records.
 func Read(r io.Reader) (*record.Dataset, error) {
-	var in jsonDataset
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&in); err != nil {
-		return nil, fmt.Errorf("dsio: decoding dataset: %w", err)
-	}
-	ds := &record.Dataset{Name: in.Name}
-	for i, jr := range in.Records {
-		fields := make([]record.Field, len(jr.Fields))
-		for fi, jf := range jr.Fields {
-			f, err := decodeField(jf)
-			if err != nil {
-				return nil, fmt.Errorf("dsio: record %d field %d: %w", i, fi, err)
-			}
-			fields[fi] = f
+	ds := &record.Dataset{}
+	name, err := ReadBatches(r, 0, func(name string, entities []int, fields [][]record.Field) error {
+		for i := range fields {
+			ds.Add(entities[i], fields[i]...)
 		}
-		entity := -1
-		if jr.Entity != nil {
-			entity = *jr.Entity
-		}
-		ds.Add(entity, fields...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	ds.Name = name
 	if err := ds.Validate(); err != nil {
 		return nil, err
 	}
 	return ds, nil
+}
+
+// ReadBatches parses the dataset document from r incrementally,
+// delivering decoded records to fn in batches of at most batch (<= 0:
+// 4096). Memory stays bounded by one batch plus the decoder's token
+// buffer regardless of document size — the streaming counterpart of
+// Read for ingest loops that forward records (e.g. into a ColWriter
+// or over the serving API) instead of materializing a dataset.
+//
+// fn receives the dataset name as known so far — final from the
+// first call for documents that put "name" before "records", as Write
+// emits them; the returned name is always the document's (whatever
+// the key order). Entities[i] is -1 when record i carries no truth. A
+// non-nil error from fn aborts the parse and is returned unwrapped.
+func ReadBatches(r io.Reader, batch int, fn func(name string, entities []int, fields [][]record.Field) error) (string, error) {
+	if batch <= 0 {
+		batch = 4096
+	}
+	dec := json.NewDecoder(r)
+	if err := expectDelim(dec, '{'); err != nil {
+		return "", fmt.Errorf("dsio: decoding dataset: %w", err)
+	}
+	var name string
+	rec := 0
+	called := false
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return name, fmt.Errorf("dsio: decoding dataset: %w", err)
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return name, fmt.Errorf("dsio: decoding dataset: unexpected token %v", keyTok)
+		}
+		switch key {
+		case "name":
+			if err := dec.Decode(&name); err != nil {
+				return name, fmt.Errorf("dsio: decoding dataset name: %w", err)
+			}
+		case "records":
+			if err := expectDelim(dec, '['); err != nil {
+				return name, fmt.Errorf("dsio: decoding records: %w", err)
+			}
+			entities := make([]int, 0, batch)
+			fields := make([][]record.Field, 0, batch)
+			flush := func() error {
+				if len(fields) == 0 {
+					return nil
+				}
+				called = true
+				if err := fn(name, entities, fields); err != nil {
+					return err
+				}
+				entities = entities[:0]
+				fields = fields[:0]
+				return nil
+			}
+			for dec.More() {
+				var jr jsonRecord
+				if err := dec.Decode(&jr); err != nil {
+					return name, fmt.Errorf("dsio: record %d: %w", rec, err)
+				}
+				fs := make([]record.Field, len(jr.Fields))
+				for fi, jf := range jr.Fields {
+					f, err := decodeField(jf)
+					if err != nil {
+						return name, fmt.Errorf("dsio: record %d field %d: %w", rec, fi, err)
+					}
+					fs[fi] = f
+				}
+				entity := -1
+				if jr.Entity != nil {
+					entity = *jr.Entity
+				}
+				entities = append(entities, entity)
+				fields = append(fields, fs)
+				rec++
+				if len(fields) >= batch {
+					if err := flush(); err != nil {
+						return name, err
+					}
+				}
+			}
+			if err := expectDelim(dec, ']'); err != nil {
+				return name, fmt.Errorf("dsio: decoding records: %w", err)
+			}
+			if err := flush(); err != nil {
+				return name, err
+			}
+		default:
+			// Skip unknown keys so the format can grow.
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return name, fmt.Errorf("dsio: decoding dataset %q key: %w", key, err)
+			}
+		}
+	}
+	if err := expectDelim(dec, '}'); err != nil {
+		return name, fmt.Errorf("dsio: decoding dataset: %w", err)
+	}
+	if !called {
+		// An empty document is an empty dataset, but surface the name.
+		return name, fn(name, nil, nil)
+	}
+	return name, nil
+}
+
+// expectDelim consumes one token and requires it to be delim d.
+func expectDelim(dec *json.Decoder, d json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if got, ok := tok.(json.Delim); !ok || got != d {
+		return fmt.Errorf("unexpected token %v, want %v", tok, d)
+	}
+	return nil
 }

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package dsio
+
+import "os"
+
+// mapFile on platforms without mmap support always declines; OpenCol
+// reads the file into the heap instead.
+func mapFile(*os.File, int64) ([]byte, bool) { return nil, false }
+
+// unmapFile is never reached on these platforms (Mapped is false).
+func unmapFile([]byte) error { return nil }

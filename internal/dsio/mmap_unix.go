@@ -1,0 +1,27 @@
+//go:build unix
+
+package dsio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps size bytes of f read-only. A failed map (e.g.
+// an exotic filesystem) returns nil and the caller falls back to
+// reading the file into the heap; empty files map to nothing.
+func mapFile(f *os.File, size int64) ([]byte, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// unmapFile releases a mapFile mapping.
+func unmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -52,13 +52,19 @@ const (
 	// CtrSnapshotBytes / CtrRestoreBytes counters carry the encoded
 	// size.
 	StageSnapshot
+	// StageShard spans one shard's slice of a sharded hashing round
+	// (internal/shard): Items is the shard's record count for the
+	// round, Workers is 1 (each shard hashes serially; parallelism
+	// comes from concurrent shards, visible as the enclosing StageHash
+	// span's Work/Wall ratio).
+	StageShard
 
 	numStages
 )
 
 var stageNames = [numStages]string{
 	"filter", "hash", "pairwise", "recovery", "blocking", "stream", "query",
-	"snapshot",
+	"snapshot", "shard",
 }
 
 // String returns the stable snake_case stage name used by the JSONL
@@ -139,6 +145,20 @@ const (
 	// where the caller (e.g. a transparent Query rebuild) swallows the
 	// CheckpointError.
 	CtrCheckpointFailures
+	// CtrBoundaryKeys counts distinct (table, bucket key) pairs that
+	// were populated by two or more shards during a sharded hashing
+	// round — the keys the cross-shard reconcile pass had to exchange.
+	CtrBoundaryKeys
+	// CtrBoundaryPairs counts the cross-shard bucket-collision edges
+	// the reconcile pass produced (one per extra shard occupying a
+	// boundary key). Per-shard collisions plus boundary pairs equal the
+	// single-engine bucket_collisions count exactly.
+	CtrBoundaryPairs
+	// CtrReconcileMerges counts parent-pointer-tree merges performed by
+	// the reconcile pass (boundary edges connecting components that
+	// were still separate after the per-shard merges). Per-shard merges
+	// plus reconcile merges equal the single-engine merges count.
+	CtrReconcileMerges
 
 	numCounters
 )
@@ -151,6 +171,7 @@ var counterNames = [numCounters]string{
 	"query_probes", "query_candidates",
 	"snapshot_bytes", "restore_bytes",
 	"checkpoint_failures",
+	"boundary_keys", "boundary_pairs", "reconcile_merges",
 }
 
 // String returns the stable snake_case counter name used by the JSONL

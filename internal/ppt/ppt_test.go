@@ -288,7 +288,7 @@ func TestBinsPeekLargestSizeDoesNotMutate(t *testing.T) {
 			t.Fatal("pop failed")
 		}
 	}
-	b.bins[b.binFor(1 << 9)] = nil // force the scan past a nil bin too
+	b.bins[b.binFor(1<<9)] = nil // force the scan past a nil bin too
 	snapshot := func() (highest, count int, lens []int, flat []int) {
 		highest, count = b.highest, b.count
 		for _, bin := range b.bins {

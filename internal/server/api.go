@@ -45,6 +45,12 @@ type CreateSessionRequest struct {
 	// semantics).
 	Workers    int `json:"workers,omitempty"`
 	HashShards int `json:"hash_shards,omitempty"`
+	// Shards > 1 runs the session's top-k queries through the sharded
+	// scale-out engine (records partitioned across that many engine
+	// shards with a cross-shard reconcile; byte-identical output).
+	// Sharded sessions do not serve point queries — POST .../query
+	// returns 409 exactly as before a first top-k run.
+	Shards int `json:"shards,omitempty"`
 	// QueryProbes / QueryRefresh tune point lookups
 	// (Stream.SetQueryProbes / SetQueryRefresh semantics).
 	QueryProbes  int `json:"query_probes,omitempty"`
@@ -66,6 +72,8 @@ type SessionInfo struct {
 	K              int    `json:"k"`
 	ReturnClusters int    `json:"khat"`
 	Records        int    `json:"records"`
+	// Shards echoes the sharded-engine width (0: single engine).
+	Shards int `json:"shards,omitempty"`
 	// Restored marks sessions warm-booted from a snapshot (-load-dir).
 	Restored bool `json:"restored,omitempty"`
 }

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"github.com/topk-er/adalsh/internal/dsio"
 	"github.com/topk-er/adalsh/internal/record"
@@ -23,6 +24,10 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// sleep is the backoff clock of IngestWait; nil means time.Sleep
+	// (tests inject a recorder).
+	sleep func(time.Duration)
 }
 
 // New creates a client for the server at base (e.g.
@@ -36,10 +41,13 @@ func New(base string, httpClient *http.Client) *Client {
 }
 
 // APIError is a non-2xx response: the status code plus the server's
-// error message.
+// error message and backoff hint.
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint (zero when the
+	// response carried none): how long to wait before retrying.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -50,6 +58,42 @@ func (e *APIError) Error() string {
 func IsBusy(err error) bool {
 	ae, ok := err.(*APIError)
 	return ok && ae.Status == http.StatusTooManyRequests
+}
+
+// IsNotFound reports whether err is a 404 (unknown session).
+func IsNotFound(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Status == http.StatusNotFound
+}
+
+// RetryDelay extracts the server's Retry-After hint from an API error
+// (zero when err is not an *APIError or carried no hint).
+func RetryDelay(err error) time.Duration {
+	if ae, ok := err.(*APIError); ok {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// parseRetryAfter decodes a Retry-After header value: delay-seconds
+// or an HTTP-date (RFC 9110 10.2.3). Absent or malformed values (and
+// dates already past) yield zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // do runs one request; out (if non-nil) receives the decoded 2xx body.
@@ -80,7 +124,10 @@ func (c *Client) do(method, path string, in, out any) error {
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
 			msg = er.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{
+			Status: resp.StatusCode, Message: msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil
@@ -136,6 +183,33 @@ func (c *Client) Ingest(id string, records ...server.WireRecord) (server.IngestR
 	req := server.IngestRequest{Records: records}
 	err := c.do(http.MethodPost, "/v1/sessions/"+url.PathEscape(id)+"/records", req, &out)
 	return out, err
+}
+
+// IngestWait ingests like Ingest but rides out 429 backpressure: a
+// busy response is retried after the server's Retry-After hint, or —
+// when the server sends none — an exponential fallback from 5ms
+// capped at 1s. Any other error returns immediately. The int result
+// counts the busy retries the batch needed.
+func (c *Client) IngestWait(id string, records ...server.WireRecord) (server.IngestResponse, int, error) {
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	fallback := 5 * time.Millisecond
+	for retries := 0; ; retries++ {
+		out, err := c.Ingest(id, records...)
+		if !IsBusy(err) {
+			return out, retries, err
+		}
+		d := RetryDelay(err)
+		if d <= 0 {
+			d = fallback
+			if fallback *= 2; fallback > time.Second {
+				fallback = time.Second
+			}
+		}
+		sleep(d)
+	}
 }
 
 // TopK re-clusters the session; k/khat 0 take the session defaults.

@@ -1,0 +1,144 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/server"
+)
+
+// busyServer is a stub adalshd that rejects the first busyFor ingests
+// with 429 (optionally advertising a Retry-After hint) and accepts
+// the rest.
+func busyServer(t *testing.T, busyFor int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions/{id}/records", func(w http.ResponseWriter, r *http.Request) {
+		var req server.IngestRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("stub: decoding ingest: %v", err)
+		}
+		if calls.Add(1) <= int64(busyFor) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "session ingest queue full"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.IngestResponse{
+			IDs: []int{0}, Records: len(req.Records),
+		})
+	})
+	sv := httptest.NewServer(mux)
+	t.Cleanup(sv.Close)
+	return sv, &calls
+}
+
+// TestIngestWaitHonorsRetryAfter pins the backoff contract: when the
+// server's 429 carries Retry-After, IngestWait sleeps exactly that
+// long before each retry instead of its fallback schedule.
+func TestIngestWaitHonorsRetryAfter(t *testing.T) {
+	sv, calls := busyServer(t, 2, "2")
+	c := New(sv.URL, nil)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	wr, err := EncodeRecord(0, record.NewSet([]uint64{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, retries, err := c.IngestWait("s1", wr)
+	if err != nil {
+		t.Fatalf("IngestWait: %v", err)
+	}
+	if retries != 2 || calls.Load() != 3 {
+		t.Errorf("retries = %d (calls %d), want 2 retries over 3 calls", retries, calls.Load())
+	}
+	if resp.Records != 1 {
+		t.Errorf("final response records = %d, want 1", resp.Records)
+	}
+	want := []time.Duration{2 * time.Second, 2 * time.Second}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("sleeps = %v, want %v (the server's Retry-After hint)", slept, want)
+	}
+}
+
+// TestIngestWaitFallbackBackoff pins the no-hint path: 429 without
+// Retry-After falls back to exponential 5ms, 10ms, ... capped at 1s.
+func TestIngestWaitFallbackBackoff(t *testing.T) {
+	sv, _ := busyServer(t, 3, "")
+	c := New(sv.URL, nil)
+	var slept []time.Duration
+	c.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	wr, err := EncodeRecord(-1, record.NewSet([]uint64{9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, retries, err := c.IngestWait("s1", wr); err != nil || retries != 3 {
+		t.Fatalf("IngestWait: retries = %d, err = %v, want 3, nil", retries, err)
+	}
+	want := []time.Duration{5 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("sleeps = %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Errorf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// TestIngestWaitNonBusyError pins that only 429 retries: any other
+// error returns immediately, no sleeps.
+func TestIngestWaitNonBusyError(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions/{id}/records", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(server.ErrorResponse{Error: "no such session"})
+	})
+	sv := httptest.NewServer(mux)
+	defer sv.Close()
+	c := New(sv.URL, nil)
+	c.sleep = func(time.Duration) { t.Error("IngestWait slept on a non-429 error") }
+	wr, err := EncodeRecord(-1, record.NewSet([]uint64{9}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, retries, err := c.IngestWait("nope", wr)
+	if retries != 0 || !IsNotFound(err) {
+		t.Errorf("retries = %d, err = %v, want 0 retries and a 404 APIError", retries, err)
+	}
+}
+
+// TestParseRetryAfter covers the header forms: delay-seconds,
+// HTTP-date, and garbage.
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter(""); d != 0 {
+		t.Errorf("empty: %v, want 0", d)
+	}
+	if d := parseRetryAfter("3"); d != 3*time.Second {
+		t.Errorf("seconds: %v, want 3s", d)
+	}
+	if d := parseRetryAfter("-1"); d != 0 {
+		t.Errorf("negative: %v, want 0", d)
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d <= 80*time.Second || d > 90*time.Second {
+		t.Errorf("http-date: %v, want just under 90s", d)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Errorf("past http-date: %v, want 0", d)
+	}
+	if d := parseRetryAfter("soonish"); d != 0 {
+		t.Errorf("garbage: %v, want 0", d)
+	}
+}

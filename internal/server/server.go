@@ -18,6 +18,7 @@ import (
 	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/record"
 	"github.com/topk-er/adalsh/internal/rulespec"
+	"github.com/topk-er/adalsh/internal/shard"
 	"github.com/topk-er/adalsh/internal/snapio"
 )
 
@@ -82,6 +83,14 @@ func (sv *Server) newSession(id, ruleStr string, st *core.Stream, req CreateSess
 	}
 	st.SetObs(s.col)
 	st.SetWorkers(req.Workers, req.HashShards)
+	if req.Shards > 1 {
+		if _, err := shard.Attach(st, req.Shards); err != nil {
+			return nil, err
+		}
+		s.shards = req.Shards
+	} else if req.Shards < 0 {
+		return nil, fmt.Errorf("server: shards %d: want >= 0", req.Shards)
+	}
 	if req.QueryProbes != 0 {
 		st.SetQueryProbes(req.QueryProbes)
 	}

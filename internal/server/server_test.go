@@ -419,3 +419,56 @@ func status(err error) int {
 	}
 	return 0
 }
+
+// TestShardedSession creates a session on the sharded engine and
+// requires its top-k output to match a plain session's byte-for-byte,
+// while point queries are refused (the sharded engine keeps no
+// query index).
+func TestShardedSession(t *testing.T) {
+	_, c := startServer(t, server.Options{})
+	wire, _, _ := testRecords(t, 60, 5, 13)
+
+	plain, err := c.CreateSession(server.CreateSessionRequest{ID: "plain", Rule: testRule, K: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Shards != 0 {
+		t.Errorf("plain session echoes shards = %d, want 0", plain.Shards)
+	}
+	sharded, err := c.CreateSession(server.CreateSessionRequest{ID: "sharded", Rule: testRule, K: 3, Seed: 11, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Shards != 4 {
+		t.Errorf("sharded session echoes shards = %d, want 4", sharded.Shards)
+	}
+	if _, err := c.CreateSession(server.CreateSessionRequest{ID: "bad", Rule: testRule, Shards: -2}); err == nil {
+		t.Error("negative shards accepted")
+	}
+
+	for _, id := range []string{"plain", "sharded"} {
+		if _, err := c.Ingest(id, wire...); err != nil {
+			t.Fatalf("%s: ingest: %v", id, err)
+		}
+	}
+	want, err := c.TopK("plain", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.TopK("sharded", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kept != want.Kept || !reflect.DeepEqual(got.Clusters, want.Clusters) {
+		t.Errorf("sharded session top-k differs from plain session:\n  sharded: %+v\n  plain:   %+v", got, want)
+	}
+
+	// Point lookups are a single-engine feature; the sharded session
+	// refuses them the way a never-clustered session does.
+	if _, err := c.Query("sharded", server.QueryRequest{Fields: wire[0].Fields, M: 2}); err == nil {
+		t.Error("point query against a sharded session succeeded, want an error")
+	}
+	if _, err := c.Query("plain", server.QueryRequest{Fields: wire[0].Fields, M: 2}); err != nil {
+		t.Errorf("point query against the plain session: %v", err)
+	}
+}

@@ -41,6 +41,7 @@ type Session struct {
 	probes   int
 	ckptPath string
 	ckptEvry int
+	shards   int
 	restored bool
 
 	// slots is the bounded ingest queue: acquired (non-blocking) for
@@ -58,7 +59,7 @@ func (s *Session) Info() SessionInfo {
 	defer s.mu.RUnlock()
 	return SessionInfo{
 		ID: s.id, Rule: s.rule, K: s.k, ReturnClusters: s.khat,
-		Records: s.st.Len(), Restored: s.restored,
+		Records: s.st.Len(), Shards: s.shards, Restored: s.restored,
 	}
 }
 
