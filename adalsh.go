@@ -82,6 +82,19 @@ func Cosine() Metric { return distance.Cosine{} }
 // Jaccard returns the Jaccard distance metric for Set fields.
 func Jaccard() Metric { return distance.Jaccard{} }
 
+// JaccardOPH is Jaccard hashed with one-permutation MinHash instead of
+// the classic one-hash-per-function family: signatures cost
+// O(|S| + K) set-element hashes instead of O(|S| * K). Match decisions
+// are identical to Jaccard (the metric is the same); only the LSH
+// signatures differ statistically, with the same per-function collision
+// law P(collide) = similarity.
+func JaccardOPH() Metric { return distance.Jaccard{OPH: true} }
+
+// WithJaccardOPH returns a copy of rule with every Jaccard leaf
+// switched to the one-permutation MinHash family (JaccardOPH). Rules
+// without Jaccard leaves are returned unchanged.
+func WithJaccardOPH(r Rule) Rule { return distance.WithJaccardOPH(r) }
+
 // Hamming returns the normalized Hamming distance metric for Bits
 // fields (differing bits / width), hashed by bit sampling.
 func Hamming() Metric { return distance.Hamming{} }

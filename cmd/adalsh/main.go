@@ -5,7 +5,7 @@
 //
 //	adalsh -input data.json -rule 'jaccard@0 <= 0.6' -k 10 [-khat 20]
 //	       [-method ada|lsh|pairs] [-x 1280] [-workers 0] [-hash-shards 0]
-//	       [-seed 42] [-json]
+//	       [-seed 42] [-family classic|oph] [-json]
 //	adalsh -input data.json -rule '...' -k 10 -query 5,17 [-query-m 3]
 //	       [-query-probes 2]   # online point lookups after one build
 //	adalsh -input data.json -rule '...' -k 10 -save-state s.snap
@@ -54,6 +54,7 @@ func main() {
 	hashShards := flag.Int("hash-shards", 0, "bucket-map shards of the parallel hash stage (0 = workers); output is identical for every value")
 	shards := flag.Int("shards", 0, "run through the sharded scale-out engine with this many record partitions (-method ada; output is byte-identical; 0/1 = single engine)")
 	seed := flag.Uint64("seed", 42, "hashing seed")
+	family := flag.String("family", "classic", "signature family for jaccard leaves: classic (one hash per function) or oph (one-permutation MinHash, O(|S|+K) signatures)")
 	asJSON := flag.Bool("json", false, "emit a JSON report")
 	planIn := flag.String("plan", "", "load a previously saved plan instead of designing one (-method ada)")
 	planOut := flag.String("save-plan", "", "save the designed plan to this file (-method ada)")
@@ -123,6 +124,15 @@ func main() {
 		if rule, err = rulespec.Parse(*ruleStr); err != nil {
 			log.Fatal(err)
 		}
+	}
+	switch *family {
+	case "", "classic":
+	case "oph":
+		if rule != nil {
+			rule = adalsh.WithJaccardOPH(rule)
+		}
+	default:
+		log.Fatalf("unknown -family %q (want classic or oph)", *family)
 	}
 
 	cfg := adalsh.Config{

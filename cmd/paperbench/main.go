@@ -50,6 +50,7 @@ func main() {
 	scaleShards := flag.Int("scale-shards", 4, "shard count of the -scale run")
 	scaleZipf := flag.Float64("scale-zipf", 0, "entity-size Zipf exponent of the -scale run (0 = default 0.6; head-heavy exponents >= 1 need RAM in proportion to the head entity)")
 	scaleDir := flag.String("scale-dir", "", "working directory for the -scale .col file (default: a temp dir, removed afterwards; set to keep the file)")
+	family := flag.String("family", "classic", "signature family of the -scale run: classic or oph (oph also runs a classic baseline over the same workload and reports both)")
 	flag.Parse()
 
 	if *list {
@@ -102,7 +103,7 @@ func main() {
 		}
 	}
 	if *scale {
-		if err := runScaleBench(*scaleRecords, *scaleShards, *scaleZipf, *workers, *seed, *scaleDir, *statsJSON); err != nil {
+		if err := runScaleBench(*scaleRecords, *scaleShards, *scaleZipf, *workers, *seed, *scaleDir, *statsJSON, *family); err != nil {
 			stopProf()
 			fatal(err)
 		}
@@ -150,10 +151,10 @@ func writeBenchReports(p *experiments.Provider, dir string, quick, skipImages bo
 
 // runScaleBench runs the sharded out-of-core benchmark and writes
 // BENCH_scale.json.
-func runScaleBench(records, shards int, zipf float64, workers int, seed uint64, dir, statsDir string) error {
+func runScaleBench(records, shards int, zipf float64, workers int, seed uint64, dir, statsDir, family string) error {
 	rep, err := experiments.RunScale(experiments.ScaleOptions{
 		Records: records, Shards: shards, Zipf: zipf, Workers: workers, Seed: seed,
-		Dir: dir, KeepCol: dir != "",
+		Dir: dir, KeepCol: dir != "", Family: family,
 		Progress: func(format string, args ...any) {
 			fmt.Printf("scale: "+format+"\n", args...)
 		},
@@ -182,6 +183,11 @@ func runScaleBench(records, shards int, zipf float64, workers int, seed uint64, 
 	}
 	fmt.Printf("scale: %d records over %d shards: filter %.1fs (hash parallelism %.2f) -> %s\n",
 		rep.Records, rep.Shards, rep.FilterMS/1000, rep.HashParallelism, path)
+	if rep.Baseline != nil {
+		fmt.Printf("scale: family %s hash wall %.1fs vs classic baseline %.1fs (%.2fx)\n",
+			rep.Family, rep.HashWallMS/1000, rep.Baseline.HashWallMS/1000,
+			rep.Baseline.HashWallMS/max(rep.HashWallMS, 1e-9))
+	}
 	return nil
 }
 

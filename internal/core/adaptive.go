@@ -304,9 +304,10 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		}
 		return t
 	}
-	var baseHits, baseMisses int64
+	var baseHits, baseMisses, baseElems int64
 	if cache != nil {
 		baseHits, baseMisses = cache.Lookups()
+		baseElems = cache.SigElemsHashed()
 	}
 	// hashRound runs one transitive hashing round under a StageHash
 	// span, feeding both Stats (wall/work/rounds) and the sink's
@@ -442,11 +443,13 @@ func FilterIncremental(ds *record.Dataset, plan *Plan, opts Options, emit func(C
 		hits, misses := cache.Lookups()
 		obs.Count(opts.Obs, obs.CtrCacheHits, hits-baseHits)
 		obs.Count(opts.Obs, obs.CtrCacheMisses, misses-baseMisses)
+		obs.Count(opts.Obs, obs.CtrSigElemsHashed, cache.SigElemsHashed()-baseElems)
 	} else {
 		// Streaming runs (DisableHashCache) did real hashing work too:
 		// the per-worker scratches counted every streamed base-hash
 		// evaluation.
 		stats.HashEvals = hashStats.Evals
+		obs.Count(opts.Obs, obs.CtrSigElemsHashed, hashStats.SigElems)
 	}
 	stats.HashWork = hashStats.Work
 	// The whole-run span charges the concurrent stages by busy time and

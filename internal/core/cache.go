@@ -56,6 +56,11 @@ type Cache struct {
 	// prefix vs. lookups that had to extend it (the obs cache
 	// counters). Atomic, same as evals: workers Ensure concurrently.
 	hits, misses int64
+	// elems counts element hashes spent extending prefixes (the
+	// sig_elems_hashed obs counter) — the work one-permutation hashing
+	// shrinks relative to classic MinHash. Atomic, same as evals. Zero
+	// for families that do not hash set elements.
+	elems int64
 }
 
 // NewCache creates an empty arena-backed cache for the dataset over n
@@ -125,6 +130,9 @@ func (c *Cache) Ensure(p *Plan, h, rec, n int) []uint64 {
 	// The missing suffix is evaluated through the batched signature
 	// path: one call per (record, hasher) instead of one per function.
 	r := &c.ds.Records[rec]
+	if e := lshfamily.SigElems(p.Hashers[h], int(ref.n), n, r); e > 0 {
+		atomic.AddInt64(&c.elems, e)
+	}
 	lshfamily.HashRange(p.Hashers[h], int(ref.n), n, r, buf[ref.n:])
 	ref.n = int32(n)
 	return buf
@@ -154,6 +162,9 @@ func (c *Cache) ensureSlices(p *Plan, h, rec, n int) []uint64 {
 	atomic.AddInt64(&c.evals[h], int64(n-len(cur)))
 	have := len(cur)
 	cur = cur[:n]
+	if e := lshfamily.SigElems(p.Hashers[h], have, n, r); e > 0 {
+		atomic.AddInt64(&c.elems, e)
+	}
 	lshfamily.HashRange(p.Hashers[h], have, n, r, cur[have:])
 	c.vals[h][rec] = cur
 	return cur
@@ -181,6 +192,14 @@ func (c *Cache) TotalEvals() int64 {
 // memoized prefixes (hits) and how many had to extend one (misses).
 func (c *Cache) Lookups() (hits, misses int64) {
 	return atomic.LoadInt64(&c.hits), atomic.LoadInt64(&c.misses)
+}
+
+// SigElemsHashed reports how many element hashes prefix extensions have
+// spent so far (zero for families that do not hash set elements). Not
+// persisted by snapshots: restored caches restart the count at zero,
+// which the delta-reporting obs wiring is indifferent to.
+func (c *Cache) SigElemsHashed() int64 {
+	return atomic.LoadInt64(&c.elems)
 }
 
 // Prefix reports how many functions of hasher h are cached for rec.

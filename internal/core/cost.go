@@ -142,6 +142,36 @@ func Calibrate(ds *record.Dataset, rule distance.Rule, hashers []lshfamily.Hashe
 			m.CostFunc[h] = 1e-9
 			continue
 		}
+		if cb, ok := hasher.(lshfamily.CostBatcher); ok {
+			// Whole-signature families amortize one set pass across the
+			// range: timing a lone Hash would overstate the per-function
+			// cost by the amortization factor. Time the batched path over
+			// the family's calibration window and divide by the window.
+			w := cb.CalibrationWindow()
+			if w < 1 {
+				w = 1
+			}
+			if w > hasher.MaxFunctions() {
+				w = hasher.MaxFunctions()
+			}
+			recs := make([]int, costSamples)
+			for i := range recs {
+				recs[i] = rng.Intn(n)
+			}
+			buf := make([]uint64, w)
+			var sink uint64
+			m.CostFunc[h] = timeBatches(len(recs)*w, func() {
+				for _, rec := range recs {
+					cb.HashBatch(0, w, &ds.Records[rec], buf)
+					sink ^= buf[0]
+				}
+			})
+			_ = sink
+			if m.CostFunc[h] <= 0 {
+				m.CostFunc[h] = 1e-10
+			}
+			continue
+		}
 		type sample struct{ rec, fn int }
 		samples := make([]sample, costSamples)
 		for i := range samples {

@@ -147,11 +147,15 @@ func analyzeLeaf(ds *record.Dataset, r distance.Rule) (leafSpec, error) {
 				},
 			}, nil
 		case record.SetKind:
+			kind := lshfamily.KindMinHash
+			if j, ok := metric.(distance.Jaccard); ok && j.OPH {
+				kind = lshfamily.KindMinHashOPH
+			}
 			return leafSpec{
 				p:    metric.P,
 				dthr: rr.MaxDistance,
 				desc: func(maxFuncs int, seed uint64) lshfamily.Desc {
-					return lshfamily.Desc{Kind: lshfamily.KindMinHash, Field: field, MaxFuncs: maxFuncs, Seed: seed}
+					return lshfamily.Desc{Kind: kind, Field: field, MaxFuncs: maxFuncs, Seed: seed}
 				},
 			}, nil
 		case record.BitsKind:

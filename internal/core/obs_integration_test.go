@@ -56,7 +56,7 @@ func TestObsCountersSerialParallelIdentical(t *testing.T) {
 	for _, c := range []obs.Counter{
 		obs.CtrHashEvals, obs.CtrBucketCollisions, obs.CtrMerges,
 		obs.CtrPairComparisons, obs.CtrCacheHits, obs.CtrCacheMisses,
-		obs.CtrRehashRounds, obs.CtrClustersEmitted,
+		obs.CtrRehashRounds, obs.CtrClustersEmitted, obs.CtrSigElemsHashed,
 	} {
 		if sv, pv := serial.Counter(c), parallel.Counter(c); sv != pv {
 			t.Errorf("%s: serial %d, parallel %d", c, sv, pv)

@@ -113,7 +113,7 @@ func (p *Plan) CompatibleWithRecord(r *record.Record) error {
 			if f.Len() != d.Dim {
 				return fmt.Errorf("core: plan expects %d-dimensional vectors in field %d, dataset has %d", d.Dim, d.Field, f.Len())
 			}
-		case lshfamily.KindMinHash:
+		case lshfamily.KindMinHash, lshfamily.KindMinHashOPH:
 			if f.Kind() != record.SetKind {
 				return fmt.Errorf("core: plan expects a set in field %d, dataset has %v", d.Field, f.Kind())
 			}

@@ -55,11 +55,13 @@ func ApplyHashExport(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, re
 		pool = NewHashPool()
 	}
 	var evals []int64
+	var selems *int64
 	if st != nil {
 		if st.Evals == nil {
 			st.Evals = make([]int64, len(p.Hashers))
 		}
 		evals = st.Evals
+		selems = &st.SigElems
 	}
 	forest := ppt.NewForest(len(recs))
 	numTables := len(hf.Tables)
@@ -121,6 +123,7 @@ func ApplyHashExport(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, re
 		pool.putTables(tables)
 	}
 	scratch.flushEvals(evals)
+	scratch.flushSigElems(selems)
 	pool.putScratch(scratch)
 
 	out := collectClusterIdx(forest, len(recs))

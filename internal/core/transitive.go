@@ -95,6 +95,11 @@ type HashStats struct {
 	// pairwise counter it is order-independent (trees built minus
 	// components left), hence identical for every worker/shard count.
 	Merges int64
+	// SigElems counts streamed set-element hashes (the
+	// sig_elems_hashed obs counter). Like Evals, only the streaming
+	// (nil cache) path counts here; cached invocations count through
+	// Cache.SigElemsHashed.
+	SigElems int64
 }
 
 // ApplyHash applies transitive hashing function hf to the records in
@@ -138,11 +143,13 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 		pool = NewHashPool()
 	}
 	var evals []int64
+	var selems *int64
 	if st != nil {
 		if st.Evals == nil {
 			st.Evals = make([]int64, len(p.Hashers))
 		}
 		evals = st.Evals
+		selems = &st.SigElems
 	}
 	forest := ppt.NewForest(len(recs))
 	numTables := len(hf.Tables)
@@ -186,6 +193,7 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 					scratch.keysFor(recs[li], keys[li*numTables:(li+1)*numTables])
 				}
 				scratch.flushEvals(evals)
+				scratch.flushSigElems(selems)
 				atomic.AddInt64(&parBusyNS, int64(time.Since(t0)))
 			}(lo, hi, scratch)
 		}
@@ -307,6 +315,7 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 			}
 		}
 		scratch.flushEvals(evals)
+		scratch.flushSigElems(selems)
 		pool.putScratch(scratch)
 		if capture != nil {
 			capture.maps = tables
@@ -340,6 +349,7 @@ func ApplyHashOpt(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache, recs 
 			}
 		}
 		scratch.flushEvals(evals)
+		scratch.flushSigElems(selems)
 		pool.putScratch(scratch)
 		if capture != nil {
 			capture.tables = tables
@@ -437,6 +447,9 @@ type keyScratch struct {
 	// cache == nil (cached evaluations count through the Cache).
 	buf   [][]uint64
 	evals []int64
+	// selems accumulates streamed set-element hashes (HashStats.
+	// SigElems), flushed by flushSigElems alongside the eval counters.
+	selems int64
 }
 
 // rebind points the scratch at one invocation's inputs, reusing the
@@ -444,6 +457,7 @@ type keyScratch struct {
 // suffices.
 func (s *keyScratch) rebind(ds *record.Dataset, p *Plan, hf *HashFunc, cache *Cache) {
 	s.ds, s.p, s.hf, s.cache = ds, p, hf, cache
+	s.selems = 0
 	if cache != nil {
 		// Cached invocations count evals through the Cache; an empty
 		// counter slice keeps flushEvals a no-op without freeing the
@@ -480,6 +494,7 @@ func (s *keyScratch) keysFor(rec int32, out []uint64) {
 			}
 			lshfamily.HashRange(s.p.Hashers[h], 0, n, r, s.buf[h])
 			s.evals[h] += int64(n)
+			s.selems += lshfamily.SigElems(s.p.Hashers[h], 0, n, r)
 		}
 	}
 	for t, table := range s.hf.Tables {
@@ -511,6 +526,17 @@ func (s *keyScratch) flushEvals(dst []int64) {
 			atomic.AddInt64(&dst[h], n)
 		}
 	}
+}
+
+// flushSigElems adds the scratch's streamed element-hash count into dst
+// (shared across workers, hence the atomic). No-op when either side
+// does not count.
+func (s *keyScratch) flushSigElems(dst *int64) {
+	if dst == nil || s.selems == 0 {
+		return
+	}
+	atomic.AddInt64(dst, s.selems)
+	s.selems = 0
 }
 
 // collectClusters converts a forest over local indices back to dataset

@@ -86,7 +86,15 @@ func (Cosine) Name() string { return "cosine" }
 
 // Jaccard is the Jaccard distance between sets: 1 - |A cap B|/|A cup B|.
 // Its LSH family is MinHash, with p(x) = 1 - x.
-type Jaccard struct{}
+type Jaccard struct {
+	// OPH selects the one-permutation MinHash signature family
+	// (lshfamily.OnePermMinHash) for this metric's leaves during plan
+	// design: O(|S|+K) per signature instead of classic MinHash's
+	// O(|S|*K), with the same p(x) = 1 - x collision probability. The
+	// distance itself is unchanged — the flag only steers which hash
+	// family the planner builds.
+	OPH bool
+}
 
 // Distance implements Metric. It panics if either field is not a
 // record.Set.
@@ -127,7 +135,12 @@ func (Jaccard) P(x float64) float64 { return 1 - x }
 func (Jaccard) FieldKind() record.FieldKind { return record.SetKind }
 
 // Name implements Metric.
-func (Jaccard) Name() string { return "jaccard" }
+func (j Jaccard) Name() string {
+	if j.OPH {
+		return "jaccard-oph"
+	}
+	return "jaccard"
+}
 
 // Euclidean is the scaled L2 distance between dense vectors:
 // ||a-b|| / Scale, clamped to 1. Its LSH family is p-stable

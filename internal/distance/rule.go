@@ -136,3 +136,43 @@ func (r WeightedAverage) String() string {
 	}
 	return fmt.Sprintf("%s <= %.4f", strings.Join(parts, " + "), r.MaxDistance)
 }
+
+// WithJaccardOPH returns a copy of the rule with every Jaccard metric
+// switched to the one-permutation signature family (Jaccard{OPH:
+// true}). Match semantics are identical — only the hash family the
+// planner builds for the rule's set leaves changes. Rules of unknown
+// shape are returned unchanged.
+func WithJaccardOPH(r Rule) Rule {
+	switch r := r.(type) {
+	case Threshold:
+		if m, ok := r.Metric.(Jaccard); ok {
+			m.OPH = true
+			r.Metric = m
+		}
+		return r
+	case And:
+		out := make(And, len(r))
+		for i, sub := range r {
+			out[i] = WithJaccardOPH(sub)
+		}
+		return out
+	case Or:
+		out := make(Or, len(r))
+		for i, sub := range r {
+			out[i] = WithJaccardOPH(sub)
+		}
+		return out
+	case WeightedAverage:
+		ms := make([]Metric, len(r.Metrics))
+		copy(ms, r.Metrics)
+		for i, m := range ms {
+			if j, ok := m.(Jaccard); ok {
+				j.OPH = true
+				ms[i] = j
+			}
+		}
+		r.Metrics = ms
+		return r
+	}
+	return r
+}

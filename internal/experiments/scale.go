@@ -50,6 +50,12 @@ type ScaleOptions struct {
 	// K is the top-k argument (default 10).
 	K    int
 	Seed uint64
+	// Family selects the signature family for the workload's Jaccard
+	// rule: "classic" (default) or "oph" (one-permutation MinHash).
+	// With "oph" the run also filters the same .col file once more
+	// with the classic family and reports it as the Baseline row, so
+	// one report carries the A/B comparison.
+	Family string
 	// Dir holds the working .col file (default: a temp dir). With
 	// KeepCol the file survives the run (reported in ColFile).
 	Dir     string
@@ -66,6 +72,23 @@ type ScaleShardStats struct {
 	CacheMB float64 `json:"cache_mb"`
 }
 
+// ScaleFamilyRow is one signature family's filter outcome over the
+// scale workload — the comparable core of a run (plan+filter walls,
+// hash-stage decomposition, output shape, counters). The main run's
+// numbers stay in the top-level ScaleBench fields; a Baseline row
+// appears only when ScaleOptions.Family selects a non-classic family.
+type ScaleFamilyRow struct {
+	Family         string           `json:"family"`
+	PlanMS         float64          `json:"plan_ms"`
+	FilterMS       float64          `json:"filter_ms"`
+	HashWallMS     float64          `json:"hash_wall_ms"`
+	HashWorkMS     float64          `json:"hash_work_ms"`
+	PairwiseWallMS float64          `json:"pairwise_wall_ms"`
+	Clusters       int              `json:"clusters"`
+	Kept           int              `json:"kept_records"`
+	Counters       map[string]int64 `json:"counters"`
+}
+
 // ScaleBench is the machine-readable outcome of one scale run
 // (BENCH_scale.json).
 type ScaleBench struct {
@@ -77,6 +100,9 @@ type ScaleBench struct {
 	Workers  int     `json:"workers"`
 	K        int     `json:"k"`
 	Seed     uint64  `json:"seed"`
+	// Family is the signature family of the main run ("classic" or
+	// "oph"); Baseline (below) is the classic A/B row when oph.
+	Family string `json:"family,omitempty"`
 	// CPUs is GOMAXPROCS at run time — the context for reading
 	// HashParallelism (see below).
 	CPUs int `json:"cpus"`
@@ -117,6 +143,10 @@ type ScaleBench struct {
 	PerShard []ScaleShardStats   `json:"per_shard"`
 	Boundary shard.BoundaryStats `json:"boundary"`
 	Counters map[string]int64    `json:"counters"`
+
+	// Baseline is the classic-family A/B row over the same .col file
+	// (set only when ScaleOptions.Family is "oph").
+	Baseline *ScaleFamilyRow `json:"baseline,omitempty"`
 }
 
 // WriteJSON writes the report as indented JSON.
@@ -191,6 +221,45 @@ func generateScaleCol(path string, opts ScaleOptions) error {
 	return w.Close()
 }
 
+// scaleFilterPhase is one family's plan+filter pass over the opened
+// workload: design a plan for rule, filter through a fresh sharded
+// engine, and aggregate the comparable outcome row. The engine and
+// result are returned so the main run can also report per-shard and
+// boundary detail (the baseline pass discards them).
+func scaleFilterPhase(ds *record.Dataset, rule distance.Rule, family string, opts ScaleOptions) (*ScaleFamilyRow, *shard.Engine, *core.Result, error) {
+	row := &ScaleFamilyRow{Family: family}
+	t0 := time.Now()
+	plan, err := core.DesignPlan(ds, rule, core.SequenceConfig{Seed: opts.Seed})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("scale: designing plan: %w", err)
+	}
+	row.PlanMS = time.Since(t0).Seconds() * 1000
+
+	col := obs.NewCollector()
+	eng, err := shard.New(ds, shard.Options{
+		Shards: opts.Shards, K: opts.K, Workers: opts.Workers, Obs: col,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	t0 = time.Now()
+	res, err := eng.Filter(plan)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("scale: filtering: %w", err)
+	}
+	row.FilterMS = time.Since(t0).Seconds() * 1000
+
+	hashWall, hashWork, _ := col.StageAgg(obs.StageHash)
+	row.HashWallMS = hashWall.Seconds() * 1000
+	row.HashWorkMS = hashWork.Seconds() * 1000
+	pairWall, _, _ := col.StageAgg(obs.StagePairwise)
+	row.PairwiseWallMS = pairWall.Seconds() * 1000
+	row.Clusters = len(res.Clusters)
+	row.Kept = len(res.Output)
+	row.Counters = col.Counters()
+	return row, eng, res, nil
+}
+
 // RunScale generates the workload out-of-core, runs the sharded
 // engine over the mapping and reports the result.
 func RunScale(opts ScaleOptions) (*ScaleBench, error) {
@@ -214,6 +283,13 @@ func RunScale(opts ScaleOptions) (*ScaleBench, error) {
 	}
 	if opts.K <= 0 {
 		opts.K = 10
+	}
+	switch opts.Family {
+	case "":
+		opts.Family = "classic"
+	case "classic", "oph":
+	default:
+		return nil, fmt.Errorf("scale: unknown family %q (want classic or oph)", opts.Family)
 	}
 	progress := opts.Progress
 	if progress == nil {
@@ -260,40 +336,28 @@ func RunScale(opts ScaleOptions) (*ScaleBench, error) {
 	rep.OpenMS = time.Since(t0).Seconds() * 1000
 	rep.Mapped = cf.Mapped
 
-	t0 = time.Now()
-	plan, err := core.DesignPlan(cf.Dataset, scaleRule(), core.SequenceConfig{Seed: opts.Seed})
-	if err != nil {
-		return nil, fmt.Errorf("scale: designing plan: %w", err)
+	rule := scaleRule()
+	rep.Family = opts.Family
+	if opts.Family == "oph" {
+		rule = distance.WithJaccardOPH(rule)
 	}
-	rep.PlanMS = time.Since(t0).Seconds() * 1000
-	progress("opened (mapped=%v, %.1fms) and designed plan (%.1fs); filtering with %d shards x %d workers",
-		cf.Mapped, rep.OpenMS, rep.PlanMS/1000, opts.Shards, opts.Workers)
-
-	col := obs.NewCollector()
-	eng, err := shard.New(cf.Dataset, shard.Options{
-		Shards: opts.Shards, K: opts.K, Workers: opts.Workers, Obs: col,
-	})
+	progress("opened (mapped=%v, %.1fms); filtering with %d shards x %d workers, family %s",
+		cf.Mapped, rep.OpenMS, opts.Shards, opts.Workers, opts.Family)
+	row, eng, res, err := scaleFilterPhase(cf.Dataset, rule, opts.Family, opts)
 	if err != nil {
 		return nil, err
 	}
-	t0 = time.Now()
-	res, err := eng.Filter(plan)
-	if err != nil {
-		return nil, fmt.Errorf("scale: filtering: %w", err)
+	rep.PlanMS = row.PlanMS
+	rep.FilterMS = row.FilterMS
+	rep.HashWallMS = row.HashWallMS
+	rep.HashWorkMS = row.HashWorkMS
+	if row.HashWallMS > 0 {
+		rep.HashParallelism = row.HashWorkMS / row.HashWallMS
 	}
-	rep.FilterMS = time.Since(t0).Seconds() * 1000
-
-	hashWall, hashWork, _ := col.StageAgg(obs.StageHash)
-	rep.HashWallMS = hashWall.Seconds() * 1000
-	rep.HashWorkMS = hashWork.Seconds() * 1000
-	if hashWall > 0 {
-		rep.HashParallelism = float64(hashWork) / float64(hashWall)
-	}
-	pairWall, _, _ := col.StageAgg(obs.StagePairwise)
-	rep.PairwiseWallMS = pairWall.Seconds() * 1000
-
-	rep.Clusters = len(res.Clusters)
-	rep.Kept = len(res.Output)
+	rep.PairwiseWallMS = row.PairwiseWallMS
+	rep.Clusters = row.Clusters
+	rep.Kept = row.Kept
+	rep.Counters = row.Counters
 	if len(res.Clusters) > 0 {
 		rep.TopClusterSize = res.Clusters[0].Size()
 	}
@@ -306,7 +370,20 @@ func RunScale(opts ScaleOptions) (*ScaleBench, error) {
 	}
 	rep.Boundary = eng.Boundary()
 	rep.ReconcileWallMS = rep.Boundary.Wall.Seconds() * 1000
-	rep.Counters = col.Counters()
+
+	if opts.Family == "oph" {
+		// A/B row: the classic family over the very same .col file, so
+		// the report carries both hash-stage decompositions side by side.
+		progress("running classic-family baseline over the same workload")
+		base, _, _, err := scaleFilterPhase(cf.Dataset, scaleRule(), "classic", opts)
+		if err != nil {
+			return nil, fmt.Errorf("scale: classic baseline: %w", err)
+		}
+		rep.Baseline = base
+		progress("baseline: hash wall %.1fs vs %.1fs oph (%.2fx)",
+			base.HashWallMS/1000, rep.HashWallMS/1000,
+			base.HashWallMS/max(rep.HashWallMS, 1e-9))
+	}
 
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)

@@ -7,7 +7,8 @@ import "fmt"
 // function count and seed). Plans persist Descs rather than the
 // generated hyperplanes/seeds themselves.
 type Desc struct {
-	// Kind is "hyperplane", "minhash", "bitsample" or "wmix".
+	// Kind is "hyperplane", "minhash", "minhash-oph", "bitsample",
+	// "pstable" or "wmix".
 	Kind string `json:"kind"`
 	// Field is the record field index (unused for wmix).
 	Field int `json:"field"`
@@ -32,6 +33,7 @@ type Desc struct {
 const (
 	KindHyperplane  = "hyperplane"
 	KindMinHash     = "minhash"
+	KindMinHashOPH  = "minhash-oph"
 	KindBitSample   = "bitsample"
 	KindPStable     = "pstable"
 	KindWeightedMix = "wmix"
@@ -50,6 +52,8 @@ func (d Desc) Build() (Hasher, error) {
 		return NewHyperplane(d.Field, d.Dim, d.MaxFuncs, d.Seed), nil
 	case KindMinHash:
 		return NewMinHash(d.Field, d.MaxFuncs, d.Seed), nil
+	case KindMinHashOPH:
+		return NewOnePermMinHash(d.Field, d.MaxFuncs, d.Seed), nil
 	case KindBitSample:
 		if d.Width < 1 {
 			return nil, fmt.Errorf("lshfamily: bitsample desc has width %d", d.Width)

@@ -59,6 +59,40 @@ func HashRange(h Hasher, lo, hi int, r *record.Record, out []uint64) {
 	}
 }
 
+// SetElemHasher is an optional Hasher extension for set-signature
+// families: SigElems reports how many element hashes evaluating the
+// function range [lo, hi) on r costs. This is the quantity
+// one-permutation hashing shrinks — classic MinHash pays |S| element
+// hashes per function, OPH pays |S| plus one visit per bin for the
+// whole range — and what the sig_elems_hashed observability counter
+// aggregates.
+type SetElemHasher interface {
+	Hasher
+	SigElems(lo, hi int, r *record.Record) int64
+}
+
+// SigElems reports the element-hash work of HashRange(h, lo, hi, r),
+// or 0 for families that do not hash set elements.
+func SigElems(h Hasher, lo, hi int, r *record.Record) int64 {
+	if hi <= lo {
+		return 0
+	}
+	if se, ok := h.(SetElemHasher); ok {
+		return se.SigElems(lo, hi, r)
+	}
+	return 0
+}
+
+// CostBatcher is an optional BatchHasher extension for families whose
+// Hash amortizes a whole-signature pass across the range — timing a
+// single Hash call would overstate the per-function cost by the
+// amortization factor. The cost calibrator times HashBatch over
+// CalibrationWindow functions instead and divides by the window.
+type CostBatcher interface {
+	BatchHasher
+	CalibrationWindow() int
+}
+
 // Hyperplane is the random-hyperplanes family for the cosine distance
 // (paper Example 2 / Example 6): function fn hashes a vector to 0 or 1
 // according to the side of a random hyperplane through the origin the
@@ -186,16 +220,49 @@ func (m *MinHash) HashBatch(lo, hi int, r *record.Record, out []uint64) {
 		return
 	}
 	seeds := m.seeds[lo:hi]
+	out = out[:len(seeds)]
 	for i := range out {
 		out[i] = ^uint64(0)
 	}
+	// 4-wide unroll with hoisted bounds checks: the full-capacity
+	// reslices let the compiler prove the four lane accesses in-range
+	// once per block instead of once per access. Identical results to
+	// the scalar loop, function by function.
 	for _, e := range s {
-		for i, seed := range seeds {
-			if h := xhash.SplitMix64(e ^ seed); h < out[i] {
+		i := 0
+		for ; i+4 <= len(seeds); i += 4 {
+			q := seeds[i : i+4 : i+4]
+			o := out[i : i+4 : i+4]
+			if h := xhash.SplitMix64(e ^ q[0]); h < o[0] {
+				o[0] = h
+			}
+			if h := xhash.SplitMix64(e ^ q[1]); h < o[1] {
+				o[1] = h
+			}
+			if h := xhash.SplitMix64(e ^ q[2]); h < o[2] {
+				o[2] = h
+			}
+			if h := xhash.SplitMix64(e ^ q[3]); h < o[3] {
+				o[3] = h
+			}
+		}
+		for ; i < len(seeds); i++ {
+			if h := xhash.SplitMix64(e ^ seeds[i]); h < out[i] {
 				out[i] = h
 			}
 		}
 	}
+}
+
+// SigElems implements SetElemHasher: each function in the range hashes
+// every set element once (the empty set pays one sentinel hash per
+// function).
+func (m *MinHash) SigElems(lo, hi int, r *record.Record) int64 {
+	s := r.Fields[m.field].(record.Set)
+	if len(s) == 0 {
+		return int64(hi - lo)
+	}
+	return int64(len(s)) * int64(hi-lo)
 }
 
 // P implements Hasher.
@@ -340,6 +407,23 @@ func (w *WeightedMix) HashBatch(lo, hi int, r *record.Record, out []uint64) {
 		HashRange(w.subs[pick], fn, end, r, out[fn-lo:end-lo])
 		fn = end
 	}
+}
+
+// SigElems implements SetElemHasher by summing the element-hash work
+// of each same-pick run, exactly as HashBatch partitions the range.
+// Sub-hashers that do not hash set elements contribute zero.
+func (w *WeightedMix) SigElems(lo, hi int, r *record.Record) int64 {
+	var total int64
+	for fn := lo; fn < hi; {
+		pick := w.choice[fn]
+		end := fn + 1
+		for end < hi && w.choice[end] == pick {
+			end++
+		}
+		total += SigElems(w.subs[pick], fn, end, r)
+		fn = end
+	}
+	return total
 }
 
 // P implements Hasher (Theorem 3): 1 - x at weighted-average distance x.

@@ -1,0 +1,338 @@
+package lshfamily
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/topk-er/adalsh/internal/record"
+	"github.com/topk-er/adalsh/internal/xhash"
+)
+
+// OnePermMinHash is the one-permutation hashing (OPH) family for the
+// Jaccard distance with optimal densification: instead of hashing
+// every set element once per base function (classic MinHash,
+// O(|S|*K)), each element is hashed once per *block* of functions and
+// routed by the top bits of its hash to one bin of the block; the
+// running minimum within bin fn is Hash(fn, r). Bins that no element
+// landed in are filled by optimal densification: each empty bin
+// independently anchors at a pseudo-random bin (pure in the bin index
+// and the densification seed) and borrows the minimum of the nearest
+// originally-occupied bin at or after the anchor (circularly), so two
+// sets collide on a densified bin iff they borrow an equal minimum
+// from the same source bin.
+//
+// The function range [0, MaxFunctions) is partitioned into
+// geometrically growing blocks (16, 16, 32, 64, ...), each an
+// independent one-permutation sub-signature with its own seeds. The
+// blocks are what make the family *adaptive-friendly*: the filter's
+// re-hash ladder extends each record's cached signature prefix a rung
+// at a time, and a monolithic one-pass signature would pay the full
+// O(|S|+K) on every extension — more than classic MinHash for the
+// (majority of) records that never climb past the early rungs. With
+// blocks, an extension pays one element pass per newly touched block
+// only: a full climb to K functions costs O(|S|*log K + K) and the
+// common one-rung record pays O(|S|+16), while classic spends
+// O(|S|*K) and O(|S|*20). Per-function collisions keep the unbiased
+// estimate p(x) = 1-x the planner's cost model relies on, and
+// functions in different blocks are independent (separate
+// permutations).
+//
+// Hash(fn, r) stays a pure function of (fn, record): every call
+// recomputes fn's block into pooled scratch and indexes it, so suffix
+// re-hashing through the signature cache, snapshot/restore and
+// re-hash rounds all observe identical values. The batched path
+// computes each block intersecting [lo, hi) exactly once.
+type OnePermMinHash struct {
+	field     int
+	bins      int
+	emptySeed uint64 // per-function sentinel stream for empty sets
+	blocks    []ophBlock
+
+	// pool holds *[]uint64 scratch of len 2*maxBlock: the first half is
+	// a block signature (or ProbeAlts' first minima), the second half
+	// carries the densifier's next-occupied index (or second minima).
+	// The pool keeps Hash and ProbeAlts allocation-free on the hot path.
+	pool sync.Pool
+}
+
+// ophBlock is one independent one-permutation sub-signature covering
+// the global function range [lo, hi).
+type ophBlock struct {
+	lo, hi   int
+	permSeed uint64 // element hash: the block's "one permutation"
+	densSeed uint64 // keys the anchor draws of the block's empty bins
+}
+
+// ophFirstBlock is the width of the first block; subsequent blocks
+// double (16, 16, 32, 64, ...), mirroring the geometric growth of the
+// re-hash ladder they serve.
+const ophFirstBlock = 16
+
+// NewOnePermMinHash builds the OPH family over maxFuncs functions for
+// record field `field`, deterministically from seed.
+func NewOnePermMinHash(field, maxFuncs int, seed uint64) *OnePermMinHash {
+	if maxFuncs < 1 {
+		panic(fmt.Sprintf("lshfamily: one-perm minhash needs >= 1 function, got %d", maxFuncs))
+	}
+	o := &OnePermMinHash{
+		field:     field,
+		bins:      maxFuncs,
+		emptySeed: xhash.SplitMix64(seed ^ 0x165667b19e3779f9),
+	}
+	permBase := xhash.SplitMix64(seed ^ 0x9e3779b97f4a7c15)
+	densBase := xhash.SplitMix64(seed ^ 0xc2b2ae3d27d4eb4f)
+	maxBlock := 0
+	width := ophFirstBlock
+	for i, lo := 0, 0; lo < maxFuncs; i++ {
+		hi := lo + width
+		if hi > maxFuncs {
+			hi = maxFuncs
+		}
+		o.blocks = append(o.blocks, ophBlock{
+			lo: lo, hi: hi,
+			permSeed: xhash.SplitMix64(permBase + uint64(i)),
+			densSeed: xhash.SplitMix64(densBase + uint64(i)),
+		})
+		if hi-lo > maxBlock {
+			maxBlock = hi - lo
+		}
+		lo = hi
+		if i >= 1 {
+			width *= 2
+		}
+	}
+	o.pool.New = func() any {
+		buf := make([]uint64, 2*maxBlock)
+		return &buf
+	}
+	return o
+}
+
+// ophEmpty marks a bin no element landed in. A genuine minimum equal to
+// the sentinel (one chance in 2^64 per element) is treated as empty —
+// still deterministic, so purity holds.
+const ophEmpty = ^uint64(0)
+
+// signatureBlock computes one block's densified sub-signature of r
+// into out (len must be blk.hi-blk.lo) in one pass over the set.
+func (o *OnePermMinHash) signatureBlock(blk ophBlock, r *record.Record, out []uint64) {
+	s := r.Fields[o.field].(record.Set)
+	bins := blk.hi - blk.lo
+	if len(s) == 0 {
+		// The empty set only collides with other empty sets, bin by bin.
+		for i := range out {
+			out[i] = xhash.SplitMix64(o.emptySeed + uint64(blk.lo+i))
+		}
+		return
+	}
+	for i := range out {
+		out[i] = ophEmpty
+	}
+	for _, e := range s {
+		h := xhash.SplitMix64(e ^ blk.permSeed)
+		// Multiply-shift range reduction on the top 32 bits: the routing
+		// bits are independent of the low bits that dominate the minimum.
+		b := (h >> 32) * uint64(bins) >> 32
+		if h < out[b] {
+			out[b] = h
+		}
+	}
+	o.densify(blk, out)
+}
+
+// densify fills a block's empty bins by independent re-anchoring (the
+// optimal densification idea): each empty bin i draws its own
+// pseudo-random anchor bin and borrows the minimum of the nearest
+// originally-occupied bin at or after the anchor (circularly),
+// re-mixed with the bin's own draw. Because every empty bin anchors
+// independently instead of chaining to its right neighbor (plain
+// rotation), densified bins decorrelate and the estimator concentrates
+// at the one-permutation information limit rather than at the
+// run-length of the occupancy pattern. A precomputed next-occupied
+// array keeps the fill O(bins) — one backward pass plus one mix per
+// empty bin — and the result depends only on the signature contents
+// and the densification seed, so it is deterministic across calls.
+func (o *OnePermMinHash) densify(blk ophBlock, out []uint64) {
+	bins := len(out)
+	hasEmpty, hasOccupied := false, false
+	for _, v := range out {
+		if v == ophEmpty {
+			hasEmpty = true
+		} else {
+			hasOccupied = true
+		}
+	}
+	if !hasEmpty {
+		return
+	}
+	if !hasOccupied {
+		// Degenerate: every element hashed to the sentinel. Fall back to
+		// the empty-set stream — still pure.
+		for i := range out {
+			out[i] = xhash.SplitMix64(o.emptySeed + uint64(blk.lo+i))
+		}
+		return
+	}
+	bufp := o.pool.Get().(*[]uint64)
+	// next[j] is the unwrapped index of the nearest originally-occupied
+	// bin at or after j (>= bins: wrapped past the end). Only empty bins
+	// are overwritten below, so sources stay original minima.
+	next := (*bufp)[len(*bufp)/2:]
+	first := 0
+	for out[first] == ophEmpty {
+		first++
+	}
+	cur := first + bins
+	for j := bins - 1; j >= 0; j-- {
+		if out[j] != ophEmpty {
+			cur = j
+		}
+		next[j] = uint64(cur)
+	}
+	for i, v := range out {
+		if v != ophEmpty {
+			continue
+		}
+		p := xhash.SplitMix64(blk.densSeed + uint64(i))
+		anchor := (p >> 32) * uint64(bins) >> 32
+		src := int(next[anchor])
+		if src >= bins {
+			src -= bins
+		}
+		out[i] = xhash.SplitMix64(out[src] ^ p)
+	}
+	o.pool.Put(bufp)
+}
+
+// blockOf returns the block containing global function fn.
+func (o *OnePermMinHash) blockOf(fn int) ophBlock {
+	for _, blk := range o.blocks {
+		if fn < blk.hi {
+			return blk
+		}
+	}
+	panic(fmt.Sprintf("lshfamily: oph function %d out of range [0,%d)", fn, o.bins))
+}
+
+// Hash implements Hasher: fn's block is recomputed into pooled scratch
+// and indexed, keeping Hash(fn, r) pure in (fn, record).
+func (o *OnePermMinHash) Hash(fn int, r *record.Record) uint64 {
+	blk := o.blockOf(fn)
+	bufp := o.pool.Get().(*[]uint64)
+	sig := (*bufp)[:blk.hi-blk.lo]
+	o.signatureBlock(blk, r, sig)
+	v := sig[fn-blk.lo]
+	o.pool.Put(bufp)
+	return v
+}
+
+// HashBatch implements BatchHasher: each block intersecting [lo, hi)
+// is computed exactly once — straight into out when the window covers
+// it, through scratch for the partial blocks at the window edges.
+func (o *OnePermMinHash) HashBatch(lo, hi int, r *record.Record, out []uint64) {
+	for _, blk := range o.blocks {
+		if blk.hi <= lo || blk.lo >= hi {
+			continue
+		}
+		if lo <= blk.lo && blk.hi <= hi {
+			o.signatureBlock(blk, r, out[blk.lo-lo:blk.hi-lo])
+			continue
+		}
+		bufp := o.pool.Get().(*[]uint64)
+		sig := (*bufp)[:blk.hi-blk.lo]
+		o.signatureBlock(blk, r, sig)
+		from, to := max(lo, blk.lo), min(hi, blk.hi)
+		copy(out[from-lo:to-lo], sig[from-blk.lo:to-blk.lo])
+		o.pool.Put(bufp)
+	}
+}
+
+// P implements Hasher: densified OPH is an unbiased estimator of the
+// Jaccard similarity, so the collision probability at normalized
+// distance x is 1 - x, same as classic MinHash.
+func (o *OnePermMinHash) P(x float64) float64 { return 1 - x }
+
+// MaxFunctions implements Hasher.
+func (o *OnePermMinHash) MaxFunctions() int { return o.bins }
+
+// Name implements Hasher.
+func (o *OnePermMinHash) Name() string { return fmt.Sprintf("minhash-oph(f%d)", o.field) }
+
+// ProbeAlts implements MultiProber with the same second-minimum
+// semantics as classic MinHash, per bin: the runner-up value of bin fn
+// is the second-smallest element hash that routed to that bin — where
+// a neighbor missing exactly the minimum element would land —
+// penalized by the normalized gap between the two. Densified bins and
+// bins holding a single element have no runner-up.
+func (o *OnePermMinHash) ProbeAlts(lo, hi int, r *record.Record, out []ProbeAlt) {
+	s := r.Fields[o.field].(record.Set)
+	if len(s) < 2 {
+		for i := range out {
+			out[i] = noAlt
+		}
+		return
+	}
+	bufp := o.pool.Get().(*[]uint64)
+	for _, blk := range o.blocks {
+		if blk.hi <= lo || blk.lo >= hi {
+			continue
+		}
+		bins := blk.hi - blk.lo
+		min1 := (*bufp)[:bins]
+		min2 := (*bufp)[len(*bufp)/2 : len(*bufp)/2+bins]
+		for i := 0; i < bins; i++ {
+			min1[i], min2[i] = ophEmpty, ophEmpty
+		}
+		for _, e := range s {
+			h := xhash.SplitMix64(e ^ blk.permSeed)
+			b := (h >> 32) * uint64(bins) >> 32
+			switch {
+			case h < min1[b]:
+				min1[b], min2[b] = h, min1[b]
+			case h < min2[b]:
+				min2[b] = h
+			}
+		}
+		const inv = 1.0 / (1 << 63) / 2 // 2^-64: uint64 hash gap -> [0, 1)
+		from, to := max(lo, blk.lo), min(hi, blk.hi)
+		for fn := from; fn < to; fn++ {
+			b := fn - blk.lo
+			if min2[b] == ophEmpty {
+				out[fn-lo] = noAlt
+				continue
+			}
+			out[fn-lo] = ProbeAlt{Alt: min2[b], Penalty: float64(min2[b]-min1[b]) * inv}
+		}
+	}
+	o.pool.Put(bufp)
+}
+
+// SigElems implements SetElemHasher: a range costs one element pass
+// plus one bin visit per block it touches, independent of how much of
+// each block the window actually covers.
+func (o *OnePermMinHash) SigElems(lo, hi int, r *record.Record) int64 {
+	s := r.Fields[o.field].(record.Set)
+	var n int64
+	for _, blk := range o.blocks {
+		if blk.hi <= lo || blk.lo >= hi {
+			continue
+		}
+		n += int64(len(s)) + int64(blk.hi-blk.lo)
+	}
+	return n
+}
+
+// CalibrationWindow implements CostBatcher: per-function timing of a
+// lone Hash call would bill a whole block's O(|S|+bins) pass to every
+// function and overstate the per-function cost by a factor of |S|; the
+// calibrator instead times HashBatch over this window and divides. A
+// fraction of the function range approximates the real consumption
+// pattern, where most records only ever need the early rungs of the
+// re-hash ladder rather than the full signature.
+func (o *OnePermMinHash) CalibrationWindow() int {
+	w := o.bins / 8
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -159,6 +159,13 @@ const (
 	// were still separate after the per-shard merges). Per-shard merges
 	// plus reconcile merges equal the single-engine merges count.
 	CtrReconcileMerges
+	// CtrSigElemsHashed counts set-element hashes spent computing
+	// signature prefixes — the work one-permutation hashing shrinks:
+	// classic MinHash pays |S| element hashes per base function
+	// (elems x funcs per extension), OPH pays |S| plus one visit per
+	// bin for a whole range (elems + bins per extension). Families that
+	// do not hash set elements contribute zero.
+	CtrSigElemsHashed
 
 	numCounters
 )
@@ -172,6 +179,7 @@ var counterNames = [numCounters]string{
 	"snapshot_bytes", "restore_bytes",
 	"checkpoint_failures",
 	"boundary_keys", "boundary_pairs", "reconcile_merges",
+	"sig_elems_hashed",
 }
 
 // String returns the stable snake_case counter name used by the JSONL

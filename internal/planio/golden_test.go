@@ -47,15 +47,46 @@ func goldenPlan(t testing.TB) *core.Plan {
 	return plan
 }
 
+// goldenOPHPlan mirrors goldenPlan with the one-permutation family:
+// the minhash-oph desc kind and the rule's jaccard-oph metric both
+// ride the v1 format with no version bump, pinned by their own
+// fixture.
+func goldenOPHPlan(t testing.TB) *core.Plan {
+	t.Helper()
+	desc := lshfamily.Desc{Kind: lshfamily.KindMinHashOPH, Field: 0, MaxFuncs: 40, Seed: 7}
+	h, err := desc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := goldenPlan(t)
+	plan.Rule = distance.Threshold{Field: 0, Metric: distance.Jaccard{OPH: true}, MaxDistance: 0.5}
+	plan.Hashers = []lshfamily.Hasher{h}
+	plan.HasherDescs = []lshfamily.Desc{desc}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
 // TestGoldenV1 pins the v1 JSON bytes of the canonical plan.
 // Regenerate with UPDATE_GOLDEN=1 go test — but only after bumping
 // formatVersion if the change alters the format.
 func TestGoldenV1(t *testing.T) {
+	checkGolden(t, goldenPlan(t), "plan_v1.golden")
+}
+
+// TestGoldenV1OPH pins the same format carrying the OPH family.
+func TestGoldenV1OPH(t *testing.T) {
+	checkGolden(t, goldenOPHPlan(t), "plan_v1_oph.golden")
+}
+
+func checkGolden(t *testing.T, plan *core.Plan, fixture string) {
+	t.Helper()
 	var buf bytes.Buffer
-	if err := planio.Write(&buf, goldenPlan(t)); err != nil {
+	if err := planio.Write(&buf, plan); err != nil {
 		t.Fatal(err)
 	}
-	golden := filepath.Join("testdata", "plan_v1.golden")
+	golden := filepath.Join("testdata", fixture)
 	if os.Getenv("UPDATE_GOLDEN") != "" {
 		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
 			t.Fatal(err)

@@ -2,6 +2,7 @@
 // command-line tools use to describe matching rules:
 //
 //	jaccard@0 <= 0.6                      single-field threshold
+//	jaccard-oph@0 <= 0.6                  same rule, one-permutation signatures
 //	cosine@1 <= 0.0167                    cosine (normalized distance)
 //	and(R1, R2)                           both must match
 //	or(R1, R2)                            either must match
@@ -65,6 +66,9 @@ func Format(r distance.Rule) (string, error) {
 func metricName(m distance.Metric) (string, error) {
 	switch mm := m.(type) {
 	case distance.Jaccard:
+		if mm.OPH {
+			return "jaccard-oph", nil
+		}
 		return "jaccard", nil
 	case distance.Cosine:
 		return "cosine", nil
@@ -177,8 +181,15 @@ func (p *parser) parseMetricField() (distance.Metric, int, error) {
 	var m distance.Metric
 	switch w {
 	case "jaccard":
-		m = distance.Jaccard{}
+		// peekWord stops at '-': an -oph suffix selects the
+		// one-permutation signature family for this leaf.
 		p.pos += len(w)
+		if strings.HasPrefix(p.input[p.pos:], "-oph") {
+			p.pos += len("-oph")
+			m = distance.Jaccard{OPH: true}
+		} else {
+			m = distance.Jaccard{}
+		}
 	case "cosine":
 		m = distance.Cosine{}
 		p.pos += len(w)

@@ -35,6 +35,11 @@ type CreateSessionRequest struct {
 	// Rule is the matching rule in rulespec syntax, e.g.
 	// "jaccard@0 <= 0.6".
 	Rule string `json:"rule"`
+	// Family selects the signature family for the rule's Jaccard
+	// leaves: "oph" switches them to one-permutation MinHash
+	// (O(|S|+K) signatures; equivalent to writing jaccard-oph in the
+	// rule), "classic" or empty keeps the rule as written.
+	Family string `json:"family,omitempty"`
 	// K / ReturnClusters are the session's default top-k arguments
 	// (K defaults to the server's -k; khat to K).
 	K              int `json:"k,omitempty"`

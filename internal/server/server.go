@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
 	"github.com/topk-er/adalsh/internal/dsio"
 	"github.com/topk-er/adalsh/internal/obs"
 	"github.com/topk-er/adalsh/internal/record"
@@ -124,6 +125,13 @@ func (sv *Server) Create(req CreateSessionRequest) (*Session, error) {
 	rule, err := rulespec.Parse(req.Rule)
 	if err != nil {
 		return nil, fmt.Errorf("server: parsing rule: %w", err)
+	}
+	switch req.Family {
+	case "", "classic":
+	case "oph":
+		rule = distance.WithJaccardOPH(rule)
+	default:
+		return nil, fmt.Errorf("server: unknown signature family %q (want classic or oph)", req.Family)
 	}
 	ruleStr := req.Rule
 	if canon, err := rulespec.Format(rule); err == nil {

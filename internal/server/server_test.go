@@ -472,3 +472,33 @@ func TestShardedSession(t *testing.T) {
 		t.Errorf("point query against the plain session: %v", err)
 	}
 }
+
+// TestCreateSessionFamily covers the family switch of session
+// creation: "oph" rewrites the rule's Jaccard leaves to the
+// one-permutation family (echoed through the canonical rule string),
+// the session stays fully functional, and unknown family names are
+// rejected at creation time.
+func TestCreateSessionFamily(t *testing.T) {
+	_, c := startServer(t, server.Options{})
+	info, err := c.CreateSession(server.CreateSessionRequest{ID: "oph", Rule: testRule, K: 3, Family: "oph"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Rule != "jaccard-oph@0 <= 0.4" {
+		t.Errorf("session rule = %q, want the canonical jaccard-oph form", info.Rule)
+	}
+	wire, _, _ := testRecords(t, 40, 4, 7)
+	if _, err := c.Ingest("oph", wire...); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.TopK("oph", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) == 0 || res.Kept == 0 {
+		t.Errorf("oph session returned no clusters (kept %d)", res.Kept)
+	}
+	if _, err := c.CreateSession(server.CreateSessionRequest{ID: "bad", Rule: testRule, K: 3, Family: "simhash"}); err == nil {
+		t.Error("unknown family accepted at session creation")
+	}
+}

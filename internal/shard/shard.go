@@ -373,11 +373,12 @@ func (e *Engine) Filter(plan *core.Plan) (*core.Result, error) {
 		}
 		return t
 	}
-	var baseHits, baseMisses int64
+	var baseHits, baseMisses, baseElems int64
 	for _, s := range e.shards {
 		h, m := s.cache.Lookups()
 		baseHits += h
 		baseMisses += m
+		baseElems += s.cache.SigElemsHashed()
 		s.prevEvals = s.cache.TotalEvals()
 		s.stats = ShardStats{}
 	}
@@ -488,7 +489,7 @@ func (e *Engine) Filter(plan *core.Plan) (*core.Result, error) {
 		}
 	}
 	stats.HashEvals = make([]int64, e.numHashers)
-	var hits, misses int64
+	var hits, misses, elems int64
 	for _, s := range e.shards {
 		for h, n := range s.cache.HashEvals() {
 			stats.HashEvals[h] += n
@@ -496,10 +497,12 @@ func (e *Engine) Filter(plan *core.Plan) (*core.Result, error) {
 		sh, sm := s.cache.Lookups()
 		hits += sh
 		misses += sm
+		elems += s.cache.SigElemsHashed()
 		s.stats.HashEvals = s.cache.TotalEvals() - s.prevEvals
 	}
 	obs.Count(opts.Obs, obs.CtrCacheHits, hits-baseHits)
 	obs.Count(opts.Obs, obs.CtrCacheMisses, misses-baseMisses)
+	obs.Count(opts.Obs, obs.CtrSigElemsHashed, elems-baseElems)
 	runTimer.Workers = workers
 	runTimer.Items = e.ds.Len()
 	runTimer.Work = runTimer.Elapsed() - (stats.HashWall + stats.PairwiseWall) + (stats.HashWork + stats.PairwiseWork)

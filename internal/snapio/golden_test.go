@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"github.com/topk-er/adalsh/internal/core"
+	"github.com/topk-er/adalsh/internal/distance"
+	"github.com/topk-er/adalsh/internal/lshfamily"
 	"github.com/topk-er/adalsh/internal/snapio"
 )
 
@@ -16,12 +18,36 @@ import (
 // fully deterministic). Regenerate with UPDATE_GOLDEN=1 go test — but
 // only after bumping formatVersion if the change alters the format.
 func TestGoldenV1(t *testing.T) {
+	checkSnapGolden(t, goldenState(t), "snapshot_v1.golden")
+}
+
+// TestGoldenV1OPH pins the same v1 format carrying the
+// one-permutation family: the minhash-oph desc and jaccard-oph rule
+// ride the existing encoding with no version bump.
+func TestGoldenV1OPH(t *testing.T) {
 	st := goldenState(t)
+	desc := lshfamily.Desc{Kind: lshfamily.KindMinHashOPH, Field: 0, MaxFuncs: 40, Seed: 7}
+	h, err := desc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Rule = distance.Threshold{Field: 0, Metric: distance.Jaccard{OPH: true}, MaxDistance: 0.5}
+	st.Plan.Rule = st.Rule
+	st.Plan.Hashers = []lshfamily.Hasher{h}
+	st.Plan.HasherDescs = []lshfamily.Desc{desc}
+	if err := st.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	checkSnapGolden(t, st, "snapshot_v1_oph.golden")
+}
+
+func checkSnapGolden(t *testing.T, st *core.StreamState, fixture string) {
+	t.Helper()
 	var buf bytes.Buffer
 	if err := snapio.WriteState(&buf, st); err != nil {
 		t.Fatal(err)
 	}
-	golden := filepath.Join("testdata", "snapshot_v1.golden")
+	golden := filepath.Join("testdata", fixture)
 	if os.Getenv("UPDATE_GOLDEN") != "" {
 		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
